@@ -1,0 +1,153 @@
+package fedsc_test
+
+// One benchmark per table and figure of the paper's evaluation section,
+// each regenerating the corresponding experiment at quick scale, plus
+// micro-benchmarks of the numerical kernels the scheme is built on.
+//
+//	go test -bench=. -benchmem
+//
+// Use cmd/fedsc-bench for the full default/paper-scale regeneration.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsc/internal/core"
+	"fedsc/internal/experiments"
+	"fedsc/internal/mat"
+	"fedsc/internal/spectral"
+	"fedsc/internal/subspace"
+	"fedsc/internal/synth"
+)
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	s := experiments.QuickScale()
+	for i := 0; i < b.N; i++ {
+		s.Seed = int64(i + 1)
+		tables, ok := experiments.Run(name, s)
+		if !ok || len(tables) == 0 {
+			b.Fatalf("experiment %s failed", name)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (Fed-SC vs k-FED over Z and partitions).
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, experiments.NameFig4) }
+
+// BenchmarkFig5 regenerates Fig. 5 (accuracy heatmap over L and L'/L).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, experiments.NameFig5) }
+
+// BenchmarkFig6 regenerates Fig. 6 (Fed-SC vs centralized SC methods).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, experiments.NameFig6) }
+
+// BenchmarkFig7 regenerates Fig. 7 (robustness to channel noise).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, experiments.NameFig7) }
+
+// BenchmarkTable3 regenerates Table III (simulated EMNIST / COIL100).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, experiments.NameTable3) }
+
+// BenchmarkTable4 regenerates Table IV (accuracy vs L').
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, experiments.NameTable4) }
+
+// BenchmarkComm regenerates the Section IV-E communication accounting.
+func BenchmarkComm(b *testing.B) { benchExperiment(b, experiments.NameComm) }
+
+// BenchmarkAblate runs the design-choice ablations.
+func BenchmarkAblate(b *testing.B) { benchExperiment(b, experiments.NameAblate) }
+
+// BenchmarkPrivacy runs the DP privacy-utility sweep (Remark 2).
+func BenchmarkPrivacy(b *testing.B) { benchExperiment(b, experiments.NamePrivacy) }
+
+// BenchmarkQuant runs the quantized-uplink sweep (Section IV-E's q bits).
+func BenchmarkQuant(b *testing.B) { benchExperiment(b, experiments.NameQuant) }
+
+// BenchmarkTheory runs the Section V empirical-validation sweep.
+func BenchmarkTheory(b *testing.B) { benchExperiment(b, experiments.NameTheory) }
+
+// BenchmarkScaling runs the Section IV-E runtime-scaling measurement.
+func BenchmarkScaling(b *testing.B) { benchExperiment(b, experiments.NameScaling) }
+
+// --- substrate micro-benchmarks ------------------------------------
+
+// BenchmarkLocalClusterAndSample measures one device's Phase 1 (the
+// dominant per-device cost: SSC + eigengap + truncated SVD + sampling).
+func BenchmarkLocalClusterAndSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := synth.RandomSubspaces(20, 5, 4, rng)
+	ds := s.SampleCounts([]int{20, 20, 0, 0}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.LocalClusterAndSample(ds.X, core.LocalOptions{UseEigengap: true},
+			rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+// BenchmarkFedSCRound measures a complete one-shot round end to end.
+func BenchmarkFedSCRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := synth.RandomSubspaces(20, 5, 8, rng)
+	devices := make([]*mat.Dense, 40)
+	for dev := range devices {
+		clusters := rng.Perm(8)[:2]
+		counts := make([]int, 8)
+		for k := 0; k < 30; k++ {
+			counts[clusters[k%2]]++
+		}
+		devices[dev] = s.SampleCounts(counts, rng).X
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(devices, 8, core.Options{Local: core.LocalOptions{UseEigengap: true}},
+			rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+// BenchmarkSSCAffinity measures the Lasso self-expression sweep that
+// dominates both local and centralized SSC.
+func BenchmarkSSCAffinity(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	s := synth.RandomSubspaces(20, 5, 4, rng)
+	ds := s.Sample(50, rng) // 200 points
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		subspace.SSCCoefficients(ds.X, subspace.SSCOptions{})
+	}
+}
+
+// BenchmarkSymEigen measures the dense symmetric eigendecomposition used
+// by spectral clustering and the eigengap estimate.
+func BenchmarkSymEigen(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := mat.RandomGaussian(200, 200, rng)
+	a := mat.MulTA(g, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.SymEigen(a)
+	}
+}
+
+// BenchmarkSpectralCluster measures normalized spectral clustering on a
+// 300-vertex affinity graph.
+func BenchmarkSpectralCluster(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	s := synth.RandomSubspaces(20, 5, 3, rng)
+	ds := s.Sample(100, rng)
+	res := subspace.TSC(ds.X, 3, rng, subspace.TSCOptions{Q: 5})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spectral.Cluster(res.Affinity, 3, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+// BenchmarkTruncatedSVD measures per-cluster basis recovery.
+func BenchmarkTruncatedSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	basis := mat.RandomOrthonormal(128, 5, rng)
+	coef := mat.RandomGaussian(5, 60, rng)
+	x := mat.Mul(basis, coef)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.TruncatedSVD(x, 5)
+	}
+}

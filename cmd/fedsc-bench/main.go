@@ -1,0 +1,64 @@
+// Command fedsc-bench regenerates the tables and figures of the Fed-SC
+// paper's evaluation section.
+//
+// Usage:
+//
+//	fedsc-bench [-scale quick|default|paper] [-seed N] [-tsv] [experiment ...]
+//
+// With no experiment arguments every experiment runs in evaluation-
+// section order (fig4 fig5 fig6 fig7 table3 table4 comm ablate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fedsc/internal/experiments"
+)
+
+func main() {
+	scaleName := flag.String("scale", "default", "workload scale: quick, default or paper")
+	seed := flag.Int64("seed", 1, "master random seed")
+	tsv := flag.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
+	doPlot := flag.Bool("plot", false, "render each table as a terminal chart (line or heatmap)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fedsc-bench [flags] [experiment ...]\nexperiments: %v\nflags:\n", experiments.All())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	scale, ok := experiments.ScaleByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fedsc-bench: unknown scale %q (want quick, default or paper)\n", *scaleName)
+		os.Exit(2)
+	}
+	scale.Seed = *seed
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = experiments.All()
+	}
+	for _, name := range names {
+		start := time.Now()
+		tables, ok := experiments.Run(name, scale)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fedsc-bench: unknown experiment %q (want one of %v)\n", name, experiments.All())
+			os.Exit(2)
+		}
+		for _, t := range tables {
+			if *tsv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.TSV())
+			} else {
+				fmt.Println(t.String())
+			}
+			if *doPlot {
+				if chart := t.Chart(); chart != "" {
+					fmt.Println(chart)
+				}
+			}
+		}
+		fmt.Printf("(%s finished in %.1fs at scale %q)\n\n", name, time.Since(start).Seconds(), scale.Name)
+	}
+}

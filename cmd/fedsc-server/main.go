@@ -1,0 +1,62 @@
+// Command fedsc-server runs the central-server side of the one-shot
+// Fed-SC protocol over TCP: it waits for the expected number of client
+// uploads, clusters the pooled samples, and returns each client its
+// sample assignments.
+//
+// Usage:
+//
+//	fedsc-server -addr :7070 -clients 8 -L 20 [-central ssc|tsc]
+//
+// Pair with cmd/fedsc-client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"fedsc/internal/core"
+	"fedsc/internal/fednet"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":7070", "listen address")
+		clients = flag.Int("clients", 4, "number of client devices to wait for")
+		l       = flag.Int("L", 20, "number of global clusters")
+		central = flag.String("central", "ssc", "central clustering: ssc or tsc")
+		seed    = flag.Int64("seed", 1, "server random seed")
+	)
+	flag.Parse()
+
+	method := core.CentralSSC
+	switch *central {
+	case "ssc":
+	case "tsc":
+		method = core.CentralTSC
+	default:
+		log.Fatalf("fedsc-server: unknown central method %q", *central)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("fedsc-server: listen: %v", err)
+	}
+	defer ln.Close()
+	log.Printf("fedsc-server: waiting for %d clients on %s (L=%d, central=%s)",
+		*clients, ln.Addr(), *l, *central)
+
+	srv := &fednet.Server{
+		L:       *l,
+		Expect:  *clients,
+		Central: core.CentralOptions{Method: method},
+		Seed:    *seed,
+	}
+	stats, err := srv.Serve(ln)
+	if err != nil {
+		log.Fatalf("fedsc-server: %v", err)
+	}
+	fmt.Printf("round complete: %d samples pooled, %d uplink bytes\n",
+		stats.Samples, stats.UplinkBytes)
+}

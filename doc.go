@@ -1,0 +1,19 @@
+// Package fedsc is a from-scratch Go reproduction of "Fed-SC: One-Shot
+// Federated Subspace Clustering over High-Dimensional Data" (ICDE 2023).
+//
+// The implementation lives under internal/: the Fed-SC scheme itself
+// (internal/core), the centralized subspace-clustering baselines
+// (internal/subspace), the one-shot federated k-means baseline
+// (internal/kfed), the network transport (internal/fednet), the
+// numerical substrate (internal/mat, internal/sparse, internal/lasso,
+// internal/spectral, internal/kmeans, internal/pca), data generation
+// (internal/synth, internal/datasets), evaluation metrics
+// (internal/metrics), the paper's theoretical quantities
+// (internal/theory) and the experiment harness reproducing every figure
+// and table of the evaluation section (internal/experiments).
+//
+// Entry points: cmd/fedsc (single runs), cmd/fedsc-bench (regenerate the
+// paper's tables and figures), cmd/fedsc-server and cmd/fedsc-client
+// (real TCP deployment of the one-shot protocol), and the runnable
+// walkthroughs under examples/.
+package fedsc

@@ -1,0 +1,78 @@
+// Healthcare scenario from the paper's introduction: high-dimensional
+// patient-record features (here the simulated EMNIST-style feature
+// generator standing in for scattering features of medical records) are
+// held by hospitals that cannot share raw data. Each hospital treats
+// only a few condition groups (statistical heterogeneity), and the goal
+// is to cluster all records by condition with ONE round of communication.
+//
+//	go run ./examples/healthcare
+//
+// The example contrasts Fed-SC with the k-means-based k-FED baseline and
+// its PCA variant, reproducing the qualitative gap of Table III: on
+// (near-)union-of-subspace feature data, k-means methods collapse while
+// Fed-SC keeps clustering.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsc/internal/core"
+	"fedsc/internal/datasets"
+	"fedsc/internal/kfed"
+	"fedsc/internal/mat"
+	"fedsc/internal/metrics"
+	"fedsc/internal/synth"
+)
+
+func main() {
+	const (
+		hospitals       = 60
+		conditionGroups = 16
+		records         = 1500
+	)
+	rng := rand.New(rand.NewSource(7))
+
+	// Simulated patient-record features: unbalanced classes on a union
+	// of low-dimensional subspaces with cross-class structure and noise.
+	cfg := datasets.DefaultEMNIST()
+	cfg.Classes = conditionGroups
+	cfg.Ambient = 128
+	records2 := datasets.SimEMNIST(cfg, records, rng)
+	fmt.Printf("generated %d patient records (%d-dim features, %d condition groups)\n",
+		records2.N(), cfg.Ambient, conditionGroups)
+
+	// Each hospital sees only 2-4 condition groups.
+	part := synth.PartitionNonIIDRange(records2.Labels, conditionGroups, hospitals, 2, 4, rng)
+	devices := make([]*mat.Dense, hospitals)
+	truth := make([][]int, hospitals)
+	for h := 0; h < hospitals; h++ {
+		sub := records2.Select(part.Points[h])
+		devices[h] = sub.X
+		truth[h] = sub.Labels
+	}
+	flat := core.FlattenLabels(truth)
+
+	// Fed-SC with the paper's real-data configuration: a fixed upper
+	// bound on the local cluster count and d_t = 1 sampling.
+	res := core.Run(devices, conditionGroups, core.Options{
+		Local:   core.LocalOptions{RMax: 4, UseEigengap: false, TargetDim: 1},
+		Central: core.CentralOptions{Method: core.CentralSSC},
+	}, rng)
+	pred := core.FlattenLabels(res.Labels)
+	fmt.Printf("\nFed-SC (SSC):      ACC %5.1f%%  NMI %5.1f%%  (uplink %d bits, one round)\n",
+		metrics.Accuracy(flat, pred), metrics.NMI(flat, pred), res.UplinkBits)
+
+	// k-FED baselines.
+	for _, v := range []struct {
+		name   string
+		pcaDim int
+	}{{"k-FED", 0}, {"k-FED + PCA-10", 10}} {
+		kres := kfed.Run(devices, conditionGroups, rng, kfed.Options{KLocal: 4, PCADim: v.pcaDim})
+		kpred := core.FlattenLabels(kres.Labels)
+		fmt.Printf("%-18s ACC %5.1f%%  NMI %5.1f%%\n", v.name+":",
+			metrics.Accuracy(flat, kpred), metrics.NMI(flat, kpred))
+	}
+	fmt.Println("\nOnly random unit-norm subspace samples ever left a hospital —")
+	fmt.Println("no raw records, no centroids of actual patients, one communication round.")
+}

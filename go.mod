@@ -1,0 +1,3 @@
+module fedsc
+
+go 1.22

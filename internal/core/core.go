@@ -1,0 +1,160 @@
+// Package core implements Fed-SC, the one-shot federated subspace
+// clustering scheme of the paper (Algorithms 1 and 2).
+//
+// The scheme has three phases. In Phase 1 every client device clusters
+// its local data with SSC, estimates the number of local clusters r⁽ᶻ⁾
+// by the eigengap heuristic (or a configured upper bound), recovers an
+// orthonormal basis of each local cluster's subspace by truncated SVD,
+// and generates ONE random unit-norm sample per subspace (Eq. 5), which
+// is all it uploads. In Phase 2 the central server clusters the pooled
+// samples with SSC or TSC into L global clusters and returns each
+// sample's assignment. In Phase 3 each device relabels its points by the
+// global assignment of their local cluster.
+//
+// Only one communication round is used; the uplink carries
+// n·q·Σr⁽ᶻ⁾ bits and the downlink Σr⁽ᶻ⁾·⌈log₂L⌉ bits (Section IV-E).
+package core
+
+import (
+	"time"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/privacy"
+	"fedsc/internal/sparse"
+	"fedsc/internal/subspace"
+)
+
+// CentralMethod selects the server-side clustering algorithm.
+type CentralMethod string
+
+// The two server algorithms of the paper: Fed-SC (SSC) and Fed-SC (TSC).
+const (
+	CentralSSC CentralMethod = "ssc"
+	CentralTSC CentralMethod = "tsc"
+)
+
+// LocalOptions configures Phase 1 (Algorithm 2) on each device.
+type LocalOptions struct {
+	// SSC tunes the local sparse self-expression step.
+	SSC subspace.SSCOptions
+	// RMax caps the number of local clusters. With UseEigengap it bounds
+	// the eigengap search; without it, r⁽ᶻ⁾ = min(RMax, N⁽ᶻ⁾) exactly —
+	// the "general upper bound" the paper uses for real-world data
+	// (Remark 1). Zero means no cap.
+	RMax int
+	// UseEigengap selects eigengap estimation of r⁽ᶻ⁾ (Eq. 3). When
+	// false, RMax must be positive and is used directly.
+	UseEigengap bool
+	// TargetDim forces the per-cluster subspace dimension d_t (the paper
+	// uses d_t = 1 for the real-world datasets). Zero estimates d_t from
+	// the cluster's numerical rank.
+	TargetDim int
+	// RankTol is the relative singular-value cutoff for the rank
+	// estimate (default 1e-6).
+	RankTol float64
+	// SamplesPerCluster is the number of random samples uploaded per
+	// local cluster. The paper uploads exactly one (default); larger
+	// values are the redundancy ablation.
+	SamplesPerCluster int
+}
+
+func (o LocalOptions) withDefaults() LocalOptions {
+	if o.RankTol <= 0 {
+		o.RankTol = 1e-6
+	}
+	if o.SamplesPerCluster <= 0 {
+		o.SamplesPerCluster = 1
+	}
+	if !o.UseEigengap && o.RMax <= 0 {
+		// Without an explicit upper bound the eigengap heuristic is the
+		// only sound way to pick r; fall back to it.
+		o.UseEigengap = true
+	}
+	return o
+}
+
+// CentralOptions configures Phase 2 at the server.
+type CentralOptions struct {
+	// Method is CentralSSC (default) or CentralTSC.
+	Method CentralMethod
+	// SSC tunes the server-side SSC when Method is CentralSSC.
+	SSC subspace.SSCOptions
+	// TSCQ overrides the TSC neighbor count; zero applies the paper's
+	// federated rule q = max(3, ⌈Z/L⌉).
+	TSCQ int
+}
+
+// Options configures a full Fed-SC run.
+type Options struct {
+	Local   LocalOptions
+	Central CentralOptions
+	// NoiseDelta simulates communication noise (Fig. 7): each uploaded
+	// sample is perturbed with iid Gaussian noise of variance
+	// δ/√r⁽ᶻ⁾. Zero disables the channel noise.
+	NoiseDelta float64
+	// QuantBits is the per-float quantization assumed by the
+	// communication-cost accounting (default 32). When ApplyQuantizer is
+	// set, the uploads are actually passed through a QuantBits-bit
+	// uniform quantizer, so the accounting's lossy channel is real.
+	QuantBits      int
+	ApplyQuantizer bool
+	// DP, when non-nil, releases each uploaded sample through the
+	// (ε, δ)-DP Gaussian mechanism (Remark 2 / the conclusion's
+	// privacy-utility direction). Composition across a device's r⁽ᶻ⁾
+	// releases is the caller's accounting concern (privacy.Compose).
+	DP *privacy.Params
+}
+
+func (o Options) withDefaults() Options {
+	o.Local = o.Local.withDefaults()
+	if o.Central.Method == "" {
+		o.Central.Method = CentralSSC
+	}
+	if o.QuantBits <= 0 {
+		o.QuantBits = 32
+	}
+	return o
+}
+
+// LocalResult is the outcome of Algorithm 2 on one device.
+type LocalResult struct {
+	// Partitions[t] lists the local point indices of cluster t.
+	Partitions [][]int
+	// Samples is the n x (r·SamplesPerCluster) matrix of generated
+	// samples, grouped by local cluster.
+	Samples *mat.Dense
+	// Dims[t] is the estimated dimension d_t of local cluster t.
+	Dims []int
+	// Elapsed is the wall time Phase 1 took on this device.
+	Elapsed time.Duration
+}
+
+// R returns the number of local clusters r⁽ᶻ⁾.
+func (lr LocalResult) R() int { return len(lr.Partitions) }
+
+// Result is the outcome of a full Fed-SC run.
+type Result struct {
+	// Labels[z][i] is the global cluster in [0, L) of point i on device z.
+	Labels [][]int
+	// SampleLabels[z][t] is the server's assignment τ_t⁽ᶻ⁾ of local
+	// cluster t on device z.
+	SampleLabels [][]int
+	// RPerDevice records r⁽ᶻ⁾ for every device.
+	RPerDevice []int
+	// UplinkBits and DownlinkBits follow the accounting of Section IV-E.
+	UplinkBits, DownlinkBits int64
+	// LocalTime[z] is the Phase 1 wall time on device z; CentralTime is
+	// the Phase 2 (server) wall time. SequentialTime sums all of them;
+	// ParallelTime assumes devices run concurrently.
+	LocalTime      []time.Duration
+	CentralTime    time.Duration
+	SequentialTime time.Duration
+	ParallelTime   time.Duration
+	// CentralAffinity is the server-side affinity graph over the pooled
+	// samples (useful for diagnostics and the connectivity ablation).
+	CentralAffinity *sparse.CSR
+	// Locals retains each device's Phase 1 output (partitions, samples,
+	// dimensions); the experiment harness uses it to build the induced
+	// global affinity graph for the CONN metric of Section VI.
+	Locals []LocalResult
+}

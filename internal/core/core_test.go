@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/metrics"
+	"fedsc/internal/synth"
+)
+
+// fedData builds the paper's synthetic federated setting: L subspaces of
+// dimension d in R^n, perCluster points per subspace per holding device,
+// Non-IID partition with L' clusters per device.
+func fedData(n, d, l, z, lPrime, perDevCluster int, seed int64) ([]*mat.Dense, [][]int, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	s := synth.RandomSubspaces(n, d, l, rng)
+	devices := make([]*mat.Dense, z)
+	truth := make([][]int, z)
+	for dev := 0; dev < z; dev++ {
+		clusters := rng.Perm(l)[:lPrime]
+		counts := make([]int, l)
+		for _, c := range clusters {
+			counts[c] = perDevCluster
+		}
+		ds := s.SampleCounts(counts, rng)
+		devices[dev] = ds.X
+		truth[dev] = ds.Labels
+	}
+	return devices, truth, rng
+}
+
+func TestLocalClusterAndSampleBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(140))
+	s := synth.RandomSubspaces(20, 3, 2, rng)
+	ds := s.Sample(15, rng) // 2 clusters, 15 points each
+	lr := LocalClusterAndSample(ds.X, LocalOptions{UseEigengap: true}, rng)
+	if lr.R() != 2 {
+		t.Fatalf("r = %d want 2 (eigengap)", lr.R())
+	}
+	if lr.Samples.Cols() != 2 {
+		t.Fatalf("samples = %d want 2", lr.Samples.Cols())
+	}
+	// Partitions cover all points exactly once.
+	seen := make([]bool, ds.N())
+	for _, p := range lr.Partitions {
+		for _, i := range p {
+			if seen[i] {
+				t.Fatal("point in two partitions")
+			}
+			seen[i] = true
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("point %d missing from partitions", i)
+		}
+	}
+	// Each partition is pure (one true subspace) on clean data.
+	for _, p := range lr.Partitions {
+		lab := ds.Labels[p[0]]
+		for _, i := range p {
+			if ds.Labels[i] != lab {
+				t.Fatal("mixed partition on clean well-separated data")
+			}
+		}
+	}
+	// Estimated dimensions match the generator.
+	for t2, d := range lr.Dims {
+		if d != 3 {
+			t.Fatalf("cluster %d estimated dim %d want 3", t2, d)
+		}
+	}
+}
+
+func TestLocalSamplesLieOnClusterSubspace(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	s := synth.RandomSubspaces(15, 2, 2, rng)
+	ds := s.Sample(12, rng)
+	lr := LocalClusterAndSample(ds.X, LocalOptions{UseEigengap: true}, rng)
+	col := make([]float64, 15)
+	for t2 := 0; t2 < lr.R(); t2++ {
+		lr.Samples.Col(t2, col)
+		if math.Abs(mat.Norm2(col)-1) > 1e-9 {
+			t.Fatalf("sample %d not unit norm", t2)
+		}
+		// The sample must lie in the true subspace of its partition.
+		trueL := ds.Labels[lr.Partitions[t2][0]]
+		b := s.Bases[trueL]
+		proj := mat.MulVec(b, mat.MulTVec(b, col))
+		for i := range col {
+			if math.Abs(proj[i]-col[i]) > 1e-6 {
+				t.Fatalf("sample %d leaves its subspace", t2)
+			}
+		}
+	}
+}
+
+func TestLocalFixedRAndTargetDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	s := synth.RandomSubspaces(20, 3, 3, rng)
+	ds := s.Sample(10, rng)
+	lr := LocalClusterAndSample(ds.X, LocalOptions{RMax: 3, UseEigengap: false, TargetDim: 1}, rng)
+	if lr.R() != 3 {
+		t.Fatalf("fixed r = %d want 3", lr.R())
+	}
+	for _, d := range lr.Dims {
+		if d != 1 {
+			t.Fatalf("target dim not honored: %d", d)
+		}
+	}
+}
+
+func TestLocalEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(143))
+	empty := LocalClusterAndSample(mat.NewDense(5, 0), LocalOptions{UseEigengap: true}, rng)
+	if empty.R() != 0 || empty.Samples.Cols() != 0 {
+		t.Fatal("empty device should produce no partitions or samples")
+	}
+	one := mat.RandomGaussian(5, 1, rng)
+	mat.NormalizeColumns(one)
+	single := LocalClusterAndSample(one, LocalOptions{UseEigengap: true}, rng)
+	if single.R() != 1 || single.Samples.Cols() != 1 {
+		t.Fatalf("single point: r=%d samples=%d", single.R(), single.Samples.Cols())
+	}
+	// With d_t = 1 the sample from a single point is ± the point itself.
+	col := single.Samples.Col(0, nil)
+	dot := math.Abs(mat.Dot(col, one.Col(0, nil)))
+	if math.Abs(dot-1) > 1e-9 {
+		t.Fatalf("single-point sample should be ± the point, |dot|=%v", dot)
+	}
+}
+
+func TestRunRecoversFederatedSubspaces(t *testing.T) {
+	// Z_ℓ = Z·L′/L = 10 samples per subspace at the server, comfortably
+	// above the d+1 = 4 the central SSC needs.
+	devices, truth, rng := fedData(20, 3, 6, 30, 2, 8, 144)
+	res := Run(devices, 6, Options{Local: LocalOptions{UseEigengap: true}}, rng)
+	acc := metrics.Accuracy(FlattenLabels(truth), FlattenLabels(res.Labels))
+	if acc < 95 {
+		t.Fatalf("Fed-SC (SSC) accuracy %.1f%% < 95%%", acc)
+	}
+}
+
+func TestRunTSCCentral(t *testing.T) {
+	// TSC at the server needs enough samples per subspace: many devices.
+	devices, truth, rng := fedData(20, 3, 4, 24, 2, 8, 145)
+	res := Run(devices, 4, Options{
+		Local:   LocalOptions{UseEigengap: true},
+		Central: CentralOptions{Method: CentralTSC},
+	}, rng)
+	acc := metrics.Accuracy(FlattenLabels(truth), FlattenLabels(res.Labels))
+	if acc < 90 {
+		t.Fatalf("Fed-SC (TSC) accuracy %.1f%% < 90%%", acc)
+	}
+}
+
+func TestRunCommunicationAccounting(t *testing.T) {
+	devices, _, rng := fedData(20, 3, 4, 6, 2, 8, 146)
+	res := Run(devices, 4, Options{Local: LocalOptions{UseEigengap: true}}, rng)
+	sumR := 0
+	for _, r := range res.RPerDevice {
+		sumR += r
+	}
+	wantUp := int64(20) * 32 * int64(sumR)
+	if res.UplinkBits != wantUp {
+		t.Fatalf("UplinkBits = %d want %d", res.UplinkBits, wantUp)
+	}
+	wantDown := int64(sumR) * 2 // ceil(log2 4) = 2
+	if res.DownlinkBits != wantDown {
+		t.Fatalf("DownlinkBits = %d want %d", res.DownlinkBits, wantDown)
+	}
+	if res.SequentialTime < res.ParallelTime {
+		t.Fatal("sequential time cannot beat parallel time")
+	}
+}
+
+func TestRunWithChannelNoiseStillClusters(t *testing.T) {
+	devices, truth, rng := fedData(20, 3, 4, 20, 2, 8, 147)
+	res := Run(devices, 4, Options{
+		Local:      LocalOptions{UseEigengap: true},
+		NoiseDelta: 0.01,
+	}, rng)
+	acc := metrics.Accuracy(FlattenLabels(truth), FlattenLabels(res.Labels))
+	if acc < 85 {
+		t.Fatalf("Fed-SC under light channel noise: accuracy %.1f%%", acc)
+	}
+}
+
+func TestRunMultipleSamplesPerCluster(t *testing.T) {
+	devices, truth, rng := fedData(20, 3, 4, 10, 2, 8, 148)
+	res := Run(devices, 4, Options{
+		Local: LocalOptions{UseEigengap: true, SamplesPerCluster: 3},
+	}, rng)
+	acc := metrics.Accuracy(FlattenLabels(truth), FlattenLabels(res.Labels))
+	if acc < 95 {
+		t.Fatalf("redundant sampling accuracy %.1f%%", acc)
+	}
+	sumR := 0
+	for _, r := range res.RPerDevice {
+		sumR += r
+	}
+	if res.UplinkBits != int64(20)*32*int64(sumR*3) {
+		t.Fatal("uplink accounting must include sample redundancy")
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	devices, _, _ := fedData(20, 3, 4, 8, 2, 8, 149)
+	r1 := Run(devices, 4, Options{Local: LocalOptions{UseEigengap: true}}, rand.New(rand.NewSource(5)))
+	r2 := Run(devices, 4, Options{Local: LocalOptions{UseEigengap: true}}, rand.New(rand.NewSource(5)))
+	a, b := FlattenLabels(r1.Labels), FlattenLabels(r2.Labels)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical results")
+		}
+	}
+}
+
+func TestGlobalLabels(t *testing.T) {
+	labels := [][]int{{1, 2}, {3}}
+	points := [][]int{{2, 0}, {1}}
+	got := GlobalLabels(labels, points, 3)
+	want := []int{2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GlobalLabels = %v want %v", got, want)
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 100: 7}
+	for l, want := range cases {
+		if got := bitsFor(l); got != want {
+			t.Fatalf("bitsFor(%d) = %d want %d", l, got, want)
+		}
+	}
+}
+
+func TestAggregatePanicsOnUnknownCentral(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rng := rand.New(rand.NewSource(150))
+	devices := []*mat.Dense{mat.RandomGaussian(4, 3, rng)}
+	locals := []LocalResult{LocalClusterAndSample(devices[0], LocalOptions{UseEigengap: true}, rng)}
+	Aggregate(devices, locals, 2, Options{Central: CentralOptions{Method: "bogus"}}, rng)
+}

@@ -1,0 +1,47 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsc/internal/core"
+	"fedsc/internal/mat"
+	"fedsc/internal/metrics"
+	"fedsc/internal/synth"
+)
+
+// ExampleRun demonstrates the full one-shot scheme on a tiny synthetic
+// federation: 3 subspaces, 12 devices each holding 2 of them.
+func ExampleRun() {
+	rng := rand.New(rand.NewSource(7))
+	subspaces := synth.RandomSubspaces(16, 2, 3, rng)
+	devices := make([]*mat.Dense, 12)
+	truth := make([][]int, 12)
+	for dev := range devices {
+		clusters := rng.Perm(3)[:2]
+		counts := make([]int, 3)
+		for k := 0; k < 16; k++ {
+			counts[clusters[k%2]]++
+		}
+		ds := subspaces.SampleCounts(counts, rng)
+		devices[dev] = ds.X
+		truth[dev] = ds.Labels
+	}
+	res := core.Run(devices, 3, core.Options{
+		Local: core.LocalOptions{UseEigengap: true},
+	}, rng)
+	acc := metrics.Accuracy(core.FlattenLabels(truth), core.FlattenLabels(res.Labels))
+	fmt.Printf("accuracy %.0f%%, one communication round\n", acc)
+	// Output: accuracy 100%, one communication round
+}
+
+// ExampleLocalClusterAndSample shows Phase 1 in isolation: a device with
+// two local subspaces uploads exactly two unit-norm samples.
+func ExampleLocalClusterAndSample() {
+	rng := rand.New(rand.NewSource(3))
+	subspaces := synth.RandomSubspaces(12, 2, 2, rng)
+	ds := subspaces.Sample(10, rng) // 10 points per subspace
+	lr := core.LocalClusterAndSample(ds.X, core.LocalOptions{UseEigengap: true}, rng)
+	fmt.Printf("local clusters: %d, samples uploaded: %d\n", lr.R(), lr.Samples.Cols())
+	// Output: local clusters: 2, samples uploaded: 2
+}

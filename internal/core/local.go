@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/spectral"
+	"fedsc/internal/subspace"
+)
+
+// LocalClusterAndSample runs Algorithm 2 on one device's data x (columns
+// are points): SSC self-expression, eigengap (or capped) estimation of
+// the number of local clusters, spectral segmentation, per-cluster basis
+// recovery by truncated SVD, and generation of uniform unit-sphere
+// samples from each estimated subspace.
+func LocalClusterAndSample(x *mat.Dense, opts LocalOptions, rng *rand.Rand) LocalResult {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n, cols := x.Dims()
+	if cols == 0 {
+		return LocalResult{Samples: mat.NewDense(n, 0), Elapsed: time.Since(start)}
+	}
+	var partitions [][]int
+	if cols == 1 {
+		partitions = [][]int{{0}}
+	} else {
+		coef := subspace.SSCCoefficients(x, opts.SSC)
+		w := subspace.AffinityFromCoefficients(coef, sscDropTol(opts.SSC))
+		var r int
+		var labels []int
+		if opts.UseEigengap {
+			r, labels = spectral.EstimateAndCluster(w, opts.RMax, rng)
+		} else {
+			r = opts.RMax
+			if r > cols {
+				r = cols
+			}
+			labels = spectral.Cluster(w, r, rng)
+		}
+		if r < 1 {
+			r = 1
+		}
+		partitions = make([][]int, r)
+		for i, t := range labels {
+			partitions[t] = append(partitions[t], i)
+		}
+		// Spectral k-means can leave a cluster empty on degenerate
+		// graphs; drop empty partitions rather than upload junk samples.
+		kept := partitions[:0]
+		for _, p := range partitions {
+			if len(p) > 0 {
+				kept = append(kept, p)
+			}
+		}
+		partitions = kept
+	}
+	r := len(partitions)
+	samples := mat.NewDense(n, r*opts.SamplesPerCluster)
+	dims := make([]int, r)
+	for t, idx := range partitions {
+		sub := x.SelectCols(idx)
+		dt := estimateDim(sub, opts)
+		dims[t] = dt
+		basis, _ := mat.TruncatedSVD(sub, dt)
+		for s := 0; s < opts.SamplesPerCluster; s++ {
+			theta := sampleFromBasis(basis, rng)
+			samples.SetCol(t*opts.SamplesPerCluster+s, theta)
+		}
+	}
+	return LocalResult{
+		Partitions: partitions,
+		Samples:    samples,
+		Dims:       dims,
+		Elapsed:    time.Since(start),
+	}
+}
+
+// estimateDim picks the subspace dimension d_t for one local cluster.
+// Without a TargetDim override it detects the numerical rank by the
+// largest multiplicative gap in the singular-value spectrum — robust to
+// the noise floor real data puts under the true subspace spectrum (a
+// fixed tolerance would read the noise as extra dimensions). RankTol
+// only marks where the spectrum has decayed to negligible.
+func estimateDim(sub *mat.Dense, opts LocalOptions) int {
+	n, cols := sub.Dims()
+	maxDim := n
+	if cols < maxDim {
+		maxDim = cols
+	}
+	if opts.TargetDim > 0 {
+		if opts.TargetDim < maxDim {
+			return opts.TargetDim
+		}
+		return maxDim
+	}
+	svd := mat.SVDFactor(sub)
+	s := svd.S
+	if len(s) == 0 || s[0] <= 0 {
+		return 1
+	}
+	best, bestRatio := 1, 0.0
+	for i := 0; i < len(s)-1 && i < maxDim; i++ {
+		if s[i] <= opts.RankTol*s[0] {
+			break
+		}
+		next := s[i+1]
+		if next <= opts.RankTol*s[0] {
+			// Spectrum ends here: exact rank i+1.
+			return i + 1
+		}
+		if ratio := s[i] / next; ratio > bestRatio {
+			best, bestRatio = i+1, ratio
+		}
+	}
+	// A gap below 2x is no gap at all (flat spectrum): treat the cluster
+	// as full-dimensional up to the data's span.
+	if bestRatio < 2 {
+		d := mat.NumericalRank(sub, 1e-9)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	return best
+}
+
+// sampleFromBasis draws θ = Uα/‖Uα‖₂ with α ~ N(0, I) (Eq. 5): a point
+// uniformly distributed on the unit sphere of the estimated subspace.
+func sampleFromBasis(basis *mat.Dense, rng *rand.Rand) []float64 {
+	n, d := basis.Dims()
+	for {
+		alpha := make([]float64, d)
+		for i := range alpha {
+			alpha[i] = rng.NormFloat64()
+		}
+		theta := make([]float64, n)
+		for i := 0; i < n; i++ {
+			row := basis.Row(i)
+			s := 0.0
+			for j, a := range alpha {
+				s += row[j] * a
+			}
+			theta[i] = s
+		}
+		if mat.Normalize(theta) > 0 {
+			return theta
+		}
+	}
+}
+
+// sscDropTol mirrors the default used inside package subspace so the
+// locally built affinity matches what SSC itself would produce.
+func sscDropTol(o subspace.SSCOptions) float64 {
+	if o.DropTol > 0 {
+		return o.DropTol
+	}
+	return 1e-8
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/synth"
+)
+
+// TestRunInvariants property-checks the scheme's structural guarantees
+// over random federations: every point gets a label in [0, L); partitions
+// cover each device exactly; sample counts, uplink accounting and r⁽ᶻ⁾
+// are mutually consistent.
+func TestRunInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(230))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := 2 + r.Intn(4)
+		z := 4 + r.Intn(8)
+		lPrime := 1 + r.Intn(l)
+		n := 10 + r.Intn(10)
+		d := 2 + r.Intn(2)
+		if d >= n {
+			d = n - 1
+		}
+		s := synth.RandomSubspaces(n, d, l, r)
+		devices := make([]*mat.Dense, z)
+		for dev := 0; dev < z; dev++ {
+			clusters := r.Perm(l)[:lPrime]
+			counts := make([]int, l)
+			per := d + 2 + r.Intn(6)
+			for k := 0; k < per*lPrime; k++ {
+				counts[clusters[k%lPrime]]++
+			}
+			devices[dev] = s.SampleCounts(counts, r).X
+		}
+		res := Run(devices, l, Options{Local: LocalOptions{UseEigengap: true, RMax: l + 2}}, r)
+		// Labels in range and complete.
+		for dev, labels := range res.Labels {
+			if len(labels) != devices[dev].Cols() {
+				return false
+			}
+			for _, lab := range labels {
+				if lab < 0 || lab >= l {
+					return false
+				}
+			}
+		}
+		// Partitions cover each device's points exactly once.
+		sumR := 0
+		for dev, lr := range res.Locals {
+			seen := make([]bool, devices[dev].Cols())
+			for _, p := range lr.Partitions {
+				for _, i := range p {
+					if seen[i] {
+						return false
+					}
+					seen[i] = true
+				}
+			}
+			for _, s := range seen {
+				if !s {
+					return false
+				}
+			}
+			if lr.R() != res.RPerDevice[dev] {
+				return false
+			}
+			sumR += lr.R()
+			// Uploaded samples are unit-norm.
+			col := make([]float64, devices[dev].Rows())
+			for j := 0; j < lr.Samples.Cols(); j++ {
+				lr.Samples.Col(j, col)
+				if math.Abs(mat.Norm2(col)-1) > 1e-8 {
+					return false
+				}
+			}
+		}
+		// Accounting consistency (QuantBits defaults to 32).
+		if res.UplinkBits != int64(n)*32*int64(sumR) {
+			return false
+		}
+		return res.SequentialTime >= res.ParallelTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSampleLabelConsistency checks Phase 3's defining property: every
+// point's final label equals its local cluster's server assignment.
+func TestSampleLabelConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(231))
+	s := synth.RandomSubspaces(15, 2, 4, rng)
+	devices := make([]*mat.Dense, 10)
+	for dev := range devices {
+		clusters := rng.Perm(4)[:2]
+		counts := make([]int, 4)
+		for k := 0; k < 16; k++ {
+			counts[clusters[k%2]]++
+		}
+		devices[dev] = s.SampleCounts(counts, rng).X
+	}
+	res := Run(devices, 4, Options{Local: LocalOptions{UseEigengap: true}}, rng)
+	for dev, lr := range res.Locals {
+		for t2, part := range lr.Partitions {
+			want := res.SampleLabels[dev][t2]
+			for _, i := range part {
+				if res.Labels[dev][i] != want {
+					t.Fatalf("device %d point %d: label %d but cluster %d assigned %d",
+						dev, i, res.Labels[dev][i], t2, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/privacy"
+	"fedsc/internal/subspace"
+)
+
+// Run executes the full Fed-SC scheme (Algorithm 1) over the devices'
+// local data matrices (columns = points), clustering everything into l
+// global clusters. Phase 1 runs concurrently across devices with
+// per-device RNGs derived from rng, so results are deterministic for a
+// given seed regardless of scheduling.
+func Run(devices []*mat.Dense, l int, opts Options, rng *rand.Rand) Result {
+	opts = opts.withDefaults()
+	z := len(devices)
+	// Phase 1: local clustering and sampling on every device.
+	locals := make([]LocalResult, z)
+	seeds := make([]int64, z)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	mat.Parallel(z, 1<<30, func(lo, hi int) {
+		for dev := lo; dev < hi; dev++ {
+			locals[dev] = LocalClusterAndSample(devices[dev], opts.Local, rand.New(rand.NewSource(seeds[dev])))
+		}
+	})
+	// Upload path: DP release, then quantization, then channel noise —
+	// the order a real deployment would apply them in.
+	if opts.DP != nil {
+		for dev := range locals {
+			if _, err := privacy.GaussianMechanism(locals[dev].Samples, *opts.DP, rng); err != nil {
+				panic("core: " + err.Error())
+			}
+		}
+	}
+	if opts.ApplyQuantizer {
+		q := privacy.Quantizer{Bits: opts.QuantBits}
+		for dev := range locals {
+			if _, err := q.Apply(locals[dev].Samples); err != nil {
+				panic("core: " + err.Error())
+			}
+		}
+	}
+	if opts.NoiseDelta > 0 {
+		for dev := range locals {
+			addChannelNoise(locals[dev].Samples, locals[dev].R(), opts.NoiseDelta, rng)
+		}
+	}
+	return Aggregate(devices, locals, l, opts, rng)
+}
+
+// Aggregate performs Phases 2 and 3 given every device's Phase 1 output:
+// the server clusters the pooled samples and each device relabels its
+// points by its local clusters' global assignments. It is split out from
+// Run so transports (package fednet) can ship LocalResults over a real
+// network between the phases.
+func Aggregate(devices []*mat.Dense, locals []LocalResult, l int, opts Options, rng *rand.Rand) Result {
+	opts = opts.withDefaults()
+	z := len(devices)
+	spc := opts.Local.SamplesPerCluster
+	// Pool all samples, remembering per-device offsets.
+	matrices := make([]*mat.Dense, z)
+	offsets := make([]int, z)
+	total := 0
+	for dev, lr := range locals {
+		matrices[dev] = lr.Samples
+		offsets[dev] = total
+		total += lr.Samples.Cols()
+	}
+	theta := mat.HStack(matrices...)
+	// Phase 2: central clustering of the pooled samples.
+	centralStart := time.Now()
+	central := CentralCluster(theta, z, l, opts.Central, rng)
+	centralTime := time.Since(centralStart)
+	// Phase 3: local update — every point inherits the global label of
+	// its local cluster. With SamplesPerCluster > 1 the cluster label is
+	// the majority vote over its samples.
+	res := Result{
+		Labels:       make([][]int, z),
+		SampleLabels: make([][]int, z),
+		RPerDevice:   make([]int, z),
+		LocalTime:    make([]time.Duration, z),
+		CentralTime:  centralTime,
+	}
+	sumR := 0
+	for dev, lr := range locals {
+		r := lr.R()
+		res.RPerDevice[dev] = r
+		res.LocalTime[dev] = lr.Elapsed
+		sumR += r
+		tau := make([]int, r)
+		for t := 0; t < r; t++ {
+			votes := make(map[int]int, spc)
+			for s := 0; s < spc; s++ {
+				votes[central.Labels[offsets[dev]+t*spc+s]]++
+			}
+			best, bestN := 0, -1
+			for lab, n := range votes {
+				if n > bestN {
+					best, bestN = lab, n
+				}
+			}
+			tau[t] = best
+		}
+		res.SampleLabels[dev] = tau
+		labels := make([]int, devices[dev].Cols())
+		for t, idx := range lr.Partitions {
+			for _, i := range idx {
+				labels[i] = tau[t]
+			}
+		}
+		res.Labels[dev] = labels
+	}
+	// Communication accounting (Section IV-E).
+	n := 0
+	if z > 0 {
+		n = devices[0].Rows()
+	}
+	logL := bitsFor(l)
+	res.UplinkBits = int64(n) * int64(opts.QuantBits) * int64(sumR*spc)
+	res.DownlinkBits = int64(sumR*spc) * int64(logL)
+	// Timing summary.
+	var sum, maxLocal time.Duration
+	for _, d := range res.LocalTime {
+		sum += d
+		if d > maxLocal {
+			maxLocal = d
+		}
+	}
+	res.SequentialTime = sum + centralTime
+	res.ParallelTime = maxLocal + centralTime
+	res.CentralAffinity = central.Affinity
+	res.Locals = locals
+	return res
+}
+
+// CentralCluster runs Phase 2 at the server: it clusters the pooled
+// sample matrix theta (columns = samples from z devices) into l global
+// clusters with the configured method. For TSC the paper's federated
+// neighbor rule q = max(3, ⌈Z/L⌉) applies unless TSCQ overrides it.
+func CentralCluster(theta *mat.Dense, z, l int, opts CentralOptions, rng *rand.Rand) subspace.Result {
+	if opts.Method == "" {
+		opts.Method = CentralSSC
+	}
+	switch opts.Method {
+	case CentralSSC:
+		return subspace.SSC(theta, l, rng, opts.SSC)
+	case CentralTSC:
+		q := opts.TSCQ
+		if q <= 0 {
+			q = int(math.Ceil(float64(z) / float64(l)))
+			if q < 3 {
+				q = 3
+			}
+		}
+		return subspace.TSC(theta, l, rng, subspace.TSCOptions{Q: q})
+	default:
+		panic("core: unknown central method " + string(opts.Method))
+	}
+}
+
+// addChannelNoise perturbs every sample column with iid Gaussian noise
+// whose total (per-vector) variance is δ/√r — the model of Fig. 7. The
+// paper states "variance δ/√r⁽ᶻ⁾" without fixing whether it is per
+// coordinate or per vector; per vector keeps the noise-to-signal ratio
+// of the unit-norm samples independent of the ambient dimension, which
+// is the only reading under which the robustness the figure reports is
+// achievable at all, so that is what we implement (per-coordinate
+// variance δ/(√r·n)).
+func addChannelNoise(samples *mat.Dense, r int, delta float64, rng *rand.Rand) {
+	n := samples.Rows()
+	if r == 0 || n == 0 {
+		return
+	}
+	std := math.Sqrt(delta / math.Sqrt(float64(r)) / float64(n))
+	data := samples.Data()
+	for i := range data {
+		data[i] += std * rng.NormFloat64()
+	}
+}
+
+// bitsFor returns ⌈log₂ l⌉, at least 1.
+func bitsFor(l int) int {
+	b := 1
+	for 1<<b < l {
+		b++
+	}
+	return b
+}
+
+// FlattenLabels concatenates per-device labels in device order; combined
+// with a partition's Points lists this reconstructs global labels.
+func FlattenLabels(labels [][]int) []int {
+	var out []int
+	for _, l := range labels {
+		out = append(out, l...)
+	}
+	return out
+}
+
+// GlobalLabels scatters per-device labels back to global point order
+// using pointsPerDevice, the per-device global point indices (e.g.
+// synth.Partition.Points). n is the total number of points.
+func GlobalLabels(labels [][]int, pointsPerDevice [][]int, n int) []int {
+	out := make([]int, n)
+	for dev, pts := range pointsPerDevice {
+		for k, i := range pts {
+			out[i] = labels[dev][k]
+		}
+	}
+	return out
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+
+	"fedsc/internal/plot"
+)
+
+// Chart renders the table as a terminal graphic: heatmap-shaped tables
+// (the title says "heatmap" or "noise") become shaded heatmaps, and
+// tables whose non-label cells are all numeric become line charts with
+// the first column as the x axis. Tables that fit neither shape render
+// as the empty string.
+func (t Table) Chart() string {
+	if len(t.Rows) == 0 || len(t.Header) < 2 {
+		return ""
+	}
+	values := make([][]float64, 0, len(t.Rows))
+	rowLabels := make([]string, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		if len(row) != len(t.Header) {
+			return ""
+		}
+		vals := make([]float64, 0, len(row)-1)
+		for _, cell := range row[1:] {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+			if err != nil {
+				return ""
+			}
+			vals = append(vals, v)
+		}
+		rowLabels = append(rowLabels, row[0])
+		values = append(values, vals)
+	}
+	if strings.Contains(t.Title, "heatmap") || strings.Contains(t.Title, "noise") {
+		return plot.Heatmap(t.Title, rowLabels, t.Header[1:], values)
+	}
+	series := make([]plot.Series, len(t.Header)-1)
+	for c := range series {
+		vals := make([]float64, len(values))
+		for r := range values {
+			vals[r] = values[r][c]
+		}
+		series[c] = plot.Series{Name: t.Header[c+1], Values: vals}
+	}
+	return plot.Line(t.Title, rowLabels, series, 64, 16)
+}

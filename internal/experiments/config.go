@@ -1,0 +1,176 @@
+package experiments
+
+// Scale bundles every experiment's workload parameters so the harness can
+// run at test scale (seconds), default scale (minutes, shapes clearly
+// visible) or paper scale (the evaluation section's actual settings —
+// hours on a large machine, exactly as the paper reports for the
+// centralized baselines).
+type Scale struct {
+	Name string
+	Seed int64
+
+	// Fig. 4: federated methods vs number of devices Z under IID /
+	// Non-IID-10 / Non-IID-2 partitions. Synthetic model: L subspaces of
+	// dimension Dim in R^Ambient, PointsPerDevice points per device.
+	Fig4Zs              []int
+	Fig4L               int
+	Fig4LPrimes         []int // 0 encodes IID (L' = L)
+	Fig4PointsPerDevice int
+
+	// Fig. 5: accuracy heatmap over the number of subspaces L and the
+	// heterogeneity ratio L'/L at fixed Z.
+	Fig5Z      int
+	Fig5Ls     []int
+	Fig5Ratios []float64
+
+	// Fig. 6: Fed-SC vs centralized SC at L=50, L'=3 as Z grows.
+	Fig6Zs              []int
+	Fig6L               int
+	Fig6LPrime          int
+	Fig6PointsPerDevice int
+
+	// Fig. 7: accuracy heatmap over channel noise δ and Z.
+	Fig7Zs     []int
+	Fig7Deltas []float64
+
+	// Synthetic model shared by Figs. 4-7.
+	Dim     int
+	Ambient int
+
+	// Tables III-IV: real-world stand-ins.
+	T3Z              int
+	T3EMNISTPoints   int // total simulated EMNIST points
+	T3COILClasses    int // COIL classes kept (100 at paper scale)
+	T3COILViews      int
+	T3CentralizedN   int // max points fed to the centralized baselines
+	T4LPrimes        []int
+	T4Points         int // points per dataset in the L' sweep
+	T4Classes        int // clusters used in the L' sweep
+	RealWorldRMax    int // upper bound on r^(z) (the paper's real-data rule)
+	RealWorldAmbient int
+}
+
+// QuickScale finishes in seconds; used by unit tests and smoke runs.
+func QuickScale() Scale {
+	return Scale{
+		Name: "quick",
+		Seed: 1,
+
+		Fig4Zs:              []int{40, 80},
+		Fig4L:               8,
+		Fig4LPrimes:         []int{0, 4, 2},
+		Fig4PointsPerDevice: 24,
+
+		Fig5Z:      60,
+		Fig5Ls:     []int{6, 10},
+		Fig5Ratios: []float64{0.25, 0.5, 1.0},
+
+		Fig6Zs:              []int{10, 20},
+		Fig6L:               10,
+		Fig6LPrime:          3,
+		Fig6PointsPerDevice: 24,
+
+		Fig7Zs:     []int{40, 80},
+		Fig7Deltas: []float64{0, 0.3, 3.0},
+
+		Dim:     5,
+		Ambient: 20,
+
+		T3Z:              30,
+		T3EMNISTPoints:   600,
+		T3COILClasses:    12,
+		T3COILViews:      24,
+		T3CentralizedN:   400,
+		T4LPrimes:        []int{2, 4},
+		T4Points:         500,
+		T4Classes:        10,
+		RealWorldRMax:    4,
+		RealWorldAmbient: 64,
+	}
+}
+
+// DefaultScale runs each experiment in minutes with the paper's shapes
+// clearly visible.
+func DefaultScale() Scale {
+	return Scale{
+		Name: "default",
+		Seed: 1,
+
+		// Central memory/time grow with (L'·Z)²: the IID column pools
+		// L·Z samples at the server, which is what bounds the default Z
+		// sweep (PaperScale goes to 2000 devices and needs the paper's
+		// 502 GB class of machine for the IID column).
+		Fig4Zs:              []int{50, 100, 200},
+		Fig4L:               20,
+		Fig4LPrimes:         []int{0, 10, 2},
+		Fig4PointsPerDevice: 40,
+
+		Fig5Z:      120,
+		Fig5Ls:     []int{10, 20},
+		Fig5Ratios: []float64{0.1, 0.3, 0.5, 0.8, 1.0},
+
+		// Z must be large enough that the server sees Z·L'/L > d+1
+		// samples per subspace — the identifiability regime the paper's
+		// Fig. 6 x-axis lives in. The ceiling is the centralized
+		// baselines: their cost grows quadratically in pooled points
+		// (that growth IS the figure's point), so the default sweep
+		// stops at 200 devices ≈ 6000 pooled points.
+		Fig6Zs:              []int{100, 150, 200},
+		Fig6L:               50,
+		Fig6LPrime:          3,
+		Fig6PointsPerDevice: 30,
+
+		Fig7Zs:     []int{100, 200, 400},
+		Fig7Deltas: []float64{0, 0.1, 0.3, 1.0, 3.0},
+
+		Dim:     5,
+		Ambient: 20,
+
+		T3Z:              100,
+		T3EMNISTPoints:   3000,
+		T3COILClasses:    40,
+		T3COILViews:      36,
+		T3CentralizedN:   1200,
+		T4LPrimes:        []int{2, 4, 6, 8, 10},
+		T4Points:         2000,
+		T4Classes:        20,
+		RealWorldRMax:    4,
+		RealWorldAmbient: 128,
+	}
+}
+
+// PaperScale mirrors Section VI's settings; centralized baselines at this
+// scale take hours, exactly as Table III reports (SSC exceeded the
+// paper's one-day limit on EMNIST).
+func PaperScale() Scale {
+	s := DefaultScale()
+	s.Name = "paper"
+	s.Fig4Zs = []int{200, 600, 1000, 1400, 2000}
+	s.Fig5Z = 400
+	s.Fig5Ls = []int{10, 20, 30, 40, 50}
+	s.Fig5Ratios = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	s.Fig6Zs = []int{100, 200, 400, 800}
+	s.Fig7Zs = []int{100, 200, 400, 800}
+	s.T3Z = 400
+	s.T3EMNISTPoints = 20000
+	s.T3COILClasses = 100
+	s.T3COILViews = 72
+	s.T3CentralizedN = 4000
+	s.T4Points = 8000
+	s.T4Classes = 62
+	s.RealWorldAmbient = 256
+	return s
+}
+
+// ScaleByName resolves quick/default/paper.
+func ScaleByName(name string) (Scale, bool) {
+	switch name {
+	case "quick":
+		return QuickScale(), true
+	case "default", "":
+		return DefaultScale(), true
+	case "paper":
+		return PaperScale(), true
+	}
+	return Scale{}, false
+}

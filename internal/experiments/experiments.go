@@ -1,0 +1,56 @@
+package experiments
+
+// Experiment names accepted by Run and the fedsc-bench command.
+const (
+	NameFig4    = "fig4"
+	NameFig5    = "fig5"
+	NameFig6    = "fig6"
+	NameFig7    = "fig7"
+	NameTable3  = "table3"
+	NameTable4  = "table4"
+	NameComm    = "comm"
+	NameAblate  = "ablate"
+	NamePrivacy = "privacy"
+	NameQuant   = "quant"
+	NameTheory  = "theory"
+	NameScaling = "scaling"
+)
+
+// All lists every experiment in evaluation-section order, followed by the
+// extensions (communication accounting, ablations, privacy, quantization).
+func All() []string {
+	return []string{NameFig4, NameFig5, NameFig6, NameFig7, NameTable3, NameTable4,
+		NameComm, NameAblate, NamePrivacy, NameQuant, NameTheory, NameScaling}
+}
+
+// Run executes the named experiment at the given scale. The second return
+// is false for an unknown name.
+func Run(name string, s Scale) ([]Table, bool) {
+	switch name {
+	case NameFig4:
+		return Fig4(s), true
+	case NameFig5:
+		return Fig5(s), true
+	case NameFig6:
+		return Fig6(s), true
+	case NameFig7:
+		return Fig7(s), true
+	case NameTable3:
+		return Table3(s), true
+	case NameTable4:
+		return Table4(s), true
+	case NameComm:
+		return Comm(s), true
+	case NameAblate:
+		return Ablate(s), true
+	case NamePrivacy:
+		return Privacy(s), true
+	case NameQuant:
+		return Quant(s), true
+	case NameTheory:
+		return Theory(s), true
+	case NameScaling:
+		return Scaling(s), true
+	}
+	return nil, false
+}

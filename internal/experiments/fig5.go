@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Fig5 reproduces Fig. 5: the clustering-accuracy heatmaps of Fed-SC
+// (SSC) and Fed-SC (TSC) as functions of the number of subspaces L and
+// the heterogeneity ratio L′/L, at fixed Z. One table per method; rows
+// are L values, columns the ratios. Both methods share each cell's
+// Phase 1, which dominates the cost.
+func Fig5(s Scale) []Table {
+	header := []string{"L \\ L'/L"}
+	for _, r := range s.Fig5Ratios {
+		header = append(header, fmt.Sprintf("%.1f", r))
+	}
+	ssc := Table{
+		Title:  fmt.Sprintf("Fig. 5 — Fed-SC (SSC) accuracy heatmap (Z=%d)", s.Fig5Z),
+		Header: header,
+	}
+	tsc := Table{
+		Title:  fmt.Sprintf("Fig. 5 — Fed-SC (TSC) accuracy heatmap (Z=%d)", s.Fig5Z),
+		Header: header,
+	}
+	for _, l := range s.Fig5Ls {
+		sscRow := []string{fmt.Sprint(l)}
+		tscRow := []string{fmt.Sprint(l)}
+		for _, ratio := range s.Fig5Ratios {
+			lPrime := int(math.Round(ratio * float64(l)))
+			if lPrime < 1 {
+				lPrime = 1
+			}
+			if lPrime > l {
+				lPrime = l
+			}
+			rng := rand.New(rand.NewSource(s.Seed + int64(l)*31 + int64(lPrime)*101))
+			pointsPerDevice := s.Fig4PointsPerDevice
+			if min := 20 * lPrime; pointsPerDevice < min {
+				pointsPerDevice = min
+			}
+			inst := syntheticInstance(s.Ambient, s.Dim, l, s.Fig5Z, lPrime, pointsPerDevice, rng)
+			evSSC, evTSC := runFedSCPair(inst, 0, rng)
+			sscRow = append(sscRow, f1(evSSC.ACC))
+			tscRow = append(tscRow, f1(evTSC.ACC))
+		}
+		ssc.AddRow(sscRow...)
+		tsc.AddRow(tscRow...)
+	}
+	return []Table{ssc, tsc}
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsc/internal/subspace"
+)
+
+// Fig6 reproduces Fig. 6: Fed-SC (SSC/TSC) against the centralized SC
+// algorithms (SSC, TSC, SSCOMP, EnSC, NSN) on the statistically
+// heterogeneous synthetic setting (L=50, L′=3), as functions of Z. One
+// table per metric: ACC, NMI, CONN (avg λ₂) and sequential running time.
+func Fig6(s Scale) []Table {
+	methodNames := []string{"Fed-SC(SSC)", "Fed-SC(TSC)", "SSC", "TSC", "SSCOMP", "EnSC", "NSN"}
+	header := append([]string{"Z"}, methodNames...)
+	acc := Table{Title: fmt.Sprintf("Fig. 6 — accuracy (L=%d, L'=%d)", s.Fig6L, s.Fig6LPrime), Header: header}
+	nmi := Table{Title: "Fig. 6 — NMI", Header: header}
+	conn := Table{Title: "Fig. 6 — connectivity (avg λ₂)", Header: header}
+	times := Table{Title: "Fig. 6 — sequential running time (s)", Header: header}
+	for _, z := range s.Fig6Zs {
+		rng := rand.New(rand.NewSource(s.Seed + int64(z)*13))
+		inst := syntheticInstance(s.Ambient, s.Dim, s.Fig6L, z, s.Fig6LPrime, s.Fig6PointsPerDevice, rng)
+		pooledX, pooledTruth := inst.Pooled()
+		fedSSC, fedTSC := runFedSCPair(inst, 0, rng)
+		evals := []Eval{
+			fedSSC,
+			fedTSC,
+			runCentral(subspace.MethodSSC, pooledX, pooledTruth, inst.L, rng),
+			runCentral(subspace.MethodTSC, pooledX, pooledTruth, inst.L, rng),
+			runCentral(subspace.MethodSSCOMP, pooledX, pooledTruth, inst.L, rng),
+			runCentral(subspace.MethodEnSC, pooledX, pooledTruth, inst.L, rng),
+			runCentral(subspace.MethodNSN, pooledX, pooledTruth, inst.L, rng),
+		}
+		accRow := []string{fmt.Sprint(z)}
+		nmiRow := []string{fmt.Sprint(z)}
+		connRow := []string{fmt.Sprint(z)}
+		timeRow := []string{fmt.Sprint(z)}
+		for _, ev := range evals {
+			accRow = append(accRow, f1(ev.ACC))
+			nmiRow = append(nmiRow, f1(ev.NMI))
+			connRow = append(connRow, f4(ev.ConnAvg))
+			timeRow = append(timeRow, fsec(ev.Seconds))
+		}
+		acc.AddRow(accRow...)
+		nmi.AddRow(nmiRow...)
+		conn.AddRow(connRow...)
+		times.AddRow(timeRow...)
+	}
+	return []Table{acc, nmi, conn, times}
+}

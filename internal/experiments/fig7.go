@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsc/internal/core"
+)
+
+// Fig7 reproduces Fig. 7: the robustness of Fed-SC to communication
+// noise. Each uploaded sample is perturbed with Gaussian noise of
+// variance δ/√r⁽ᶻ⁾; the tables map accuracy over δ (rows) and Z
+// (columns), one table per central method.
+func Fig7(s Scale) []Table {
+	header := []string{"δ \\ Z"}
+	for _, z := range s.Fig7Zs {
+		header = append(header, fmt.Sprint(z))
+	}
+	methods := []struct {
+		name   string
+		method core.CentralMethod
+	}{
+		{"Fed-SC (SSC)", core.CentralSSC},
+		{"Fed-SC (TSC)", core.CentralTSC},
+	}
+	var tables []Table
+	for _, m := range methods {
+		t := Table{
+			Title:  fmt.Sprintf("Fig. 7 — %s accuracy under channel noise", m.name),
+			Header: header,
+		}
+		for _, delta := range s.Fig7Deltas {
+			row := []string{fmt.Sprintf("%.2f", delta)}
+			for _, z := range s.Fig7Zs {
+				rng := rand.New(rand.NewSource(s.Seed + int64(z)*17 + int64(delta*1000)))
+				inst := syntheticInstance(s.Ambient, s.Dim, s.Fig4L, z, 2, s.Fig4PointsPerDevice, rng)
+				ev := runFedSC(inst, m.method, delta, false, 0, false, rng)
+				row = append(row, f1(ev.ACC))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsc/internal/core"
+	"fedsc/internal/metrics"
+	"fedsc/internal/privacy"
+)
+
+// Privacy explores the privacy-utility tradeoff the paper's conclusion
+// poses as future work: Fed-SC accuracy when every uploaded sample is
+// released through the (ε, δ)-DP Gaussian mechanism, as a function of the
+// per-sample ε. The per-device round budget under basic composition
+// (r⁽ᶻ⁾ releases) is reported next to the accuracy.
+// The grid is wide because the finding is stark: with the unit-sphere
+// release's ℓ2 sensitivity of 2, the Gaussian mechanism's noise only
+// drops below the samples' own scale at very large ε — a concrete
+// measurement of why the paper's conclusion leaves the privacy-utility
+// tradeoff as future work.
+func Privacy(s Scale) []Table {
+	epsilons := []float64{1, 10, 50, 100, 200, 500}
+	t := Table{
+		Title: fmt.Sprintf("Privacy-utility — DP Gaussian mechanism on uploads (L=%d, Non-IID-2, δ=1e-5)", s.Fig4L),
+		Header: []string{"ε per sample", "device round ε (basic comp.)", "noise σ",
+			"Fed-SC(SSC) ACC", "Fed-SC(SSC) NMI"},
+	}
+	z := s.Fig4Zs[len(s.Fig4Zs)-1]
+	rng := rand.New(rand.NewSource(s.Seed + 77))
+	inst := syntheticInstance(s.Ambient, s.Dim, s.Fig4L, z, 2, s.Fig4PointsPerDevice, rng)
+	truth := inst.FlatTruth()
+	for _, eps := range epsilons {
+		p := privacy.Params{Epsilon: eps, Delta: 1e-5}
+		res := core.Run(inst.Devices, inst.L, core.Options{
+			Local: core.LocalOptions{UseEigengap: true},
+			DP:    &p,
+		}, rand.New(rand.NewSource(s.Seed+int64(eps*10))))
+		pred := core.FlattenLabels(res.Labels)
+		// Round budget: worst device (max r) under basic composition.
+		maxR := 0
+		for _, r := range res.RPerDevice {
+			if r > maxR {
+				maxR = r
+			}
+		}
+		round := privacy.Compose(p, maxR)
+		t.AddRow(fmt.Sprintf("%.1f", eps), fmt.Sprintf("%.1f", round.Epsilon),
+			fmt.Sprintf("%.3f", p.NoiseStd()),
+			f1(metrics.Accuracy(truth, pred)), f1(metrics.NMI(truth, pred)))
+	}
+	return []Table{t}
+}
+
+// Quant measures the accuracy cost of actually quantizing the uploads at
+// the q bits per float the communication accounting of Section IV-E
+// assumes, over a range of bit widths.
+func Quant(s Scale) []Table {
+	bits := []int{2, 4, 6, 8, 16, 32}
+	t := Table{
+		Title:  fmt.Sprintf("Quantized uplink — accuracy vs bits per float (L=%d, Non-IID-2)", s.Fig4L),
+		Header: []string{"bits", "uplink bits total", "Fed-SC(SSC) ACC", "Fed-SC(SSC) NMI"},
+	}
+	z := s.Fig4Zs[len(s.Fig4Zs)-1]
+	rng := rand.New(rand.NewSource(s.Seed + 78))
+	inst := syntheticInstance(s.Ambient, s.Dim, s.Fig4L, z, 2, s.Fig4PointsPerDevice, rng)
+	truth := inst.FlatTruth()
+	for _, b := range bits {
+		res := core.Run(inst.Devices, inst.L, core.Options{
+			Local:          core.LocalOptions{UseEigengap: true},
+			QuantBits:      b,
+			ApplyQuantizer: true,
+		}, rand.New(rand.NewSource(s.Seed+int64(b))))
+		pred := core.FlattenLabels(res.Labels)
+		t.AddRow(fmt.Sprint(b), fmt.Sprint(res.UplinkBits),
+			f1(metrics.Accuracy(truth, pred)), f1(metrics.NMI(truth, pred)))
+	}
+	return []Table{t}
+}

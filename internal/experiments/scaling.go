@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"fedsc/internal/subspace"
+)
+
+// Scaling validates the complexity analysis of Section IV-E: centralized
+// spectral SC costs O(Z²N²) while Fed-SC costs O(ZN² + Z²) sequentially
+// (O(N² + Z²) with parallel devices). The experiment measures wall time
+// against growing Z at fixed per-device N and reports the fitted log-log
+// slope: the centralized curve should approach slope 2, Fed-SC's should
+// stay near 1 until the Z² central term takes over.
+func Scaling(s Scale) []Table {
+	t := Table{
+		Title: fmt.Sprintf("Section IV-E — runtime scaling vs Z (L=%d, %d pts/device)",
+			s.Fig4L, s.Fig4PointsPerDevice),
+		Header: []string{"Z", "Fed-SC seq (s)", "Fed-SC parallel (s)", "central SSC (s)"},
+	}
+	var zs []float64
+	var fed, fedPar, central []float64
+	for _, z := range s.Fig4Zs {
+		rng := rand.New(rand.NewSource(s.Seed + int64(z)*41))
+		inst := syntheticInstance(s.Ambient, s.Dim, s.Fig4L, z, 2, s.Fig4PointsPerDevice, rng)
+		ev := runFedSC(inst, "ssc", 0, false, 0, false, rng)
+		res := ev.Result
+		pooledX, pooledTruth := inst.Pooled()
+		start := time.Now()
+		subspace.SSC(pooledX, inst.L, rng, subspace.SSCOptions{})
+		centralSecs := time.Since(start).Seconds()
+		_ = pooledTruth
+		t.AddRow(fmt.Sprint(z), fsec(res.SequentialTime.Seconds()),
+			fsec(res.ParallelTime.Seconds()), fsec(centralSecs))
+		zs = append(zs, float64(z))
+		fed = append(fed, res.SequentialTime.Seconds())
+		fedPar = append(fedPar, res.ParallelTime.Seconds())
+		central = append(central, centralSecs)
+	}
+	if len(zs) >= 2 {
+		t.AddRow("log-log slope",
+			fmt.Sprintf("%.2f", loglogSlope(zs, fed)),
+			fmt.Sprintf("%.2f", loglogSlope(zs, fedPar)),
+			fmt.Sprintf("%.2f", loglogSlope(zs, central)))
+	}
+	return []Table{t}
+}
+
+// loglogSlope fits log(y) = a + b·log(x) by least squares and returns b.
+func loglogSlope(x, y []float64) float64 {
+	n := 0.0
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			continue
+		}
+		lx, ly := math.Log(x[i]), math.Log(y[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}

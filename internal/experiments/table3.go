@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsc/internal/core"
+	"fedsc/internal/datasets"
+	"fedsc/internal/subspace"
+	"fedsc/internal/synth"
+)
+
+// Table3 reproduces Table III: all methods on the (simulated) EMNIST and
+// augmented COIL100 datasets distributed over Z devices with
+// 2 ≤ L⁽ᶻ⁾ ≤ 4. Reported: ACC, NMI, CONN (avg λ₂, '-' for k-means
+// methods) and sequential running time. The centralized baselines run on
+// a subsample of at most T3CentralizedN points, mirroring how the paper's
+// SSC run exceeded its one-day limit — at paper scale they dominate the
+// runtime exactly as Table III reports.
+func Table3(s Scale) []Table {
+	rng := rand.New(rand.NewSource(s.Seed))
+	emCfg := datasets.DefaultEMNIST()
+	emCfg.Ambient = s.RealWorldAmbient
+	em := datasets.SimEMNIST(emCfg, s.T3EMNISTPoints, rng)
+	coilCfg := datasets.DefaultCOIL()
+	coilCfg.Ambient = s.RealWorldAmbient
+	coilCfg.Classes = s.T3COILClasses
+	coilCfg.Views = s.T3COILViews
+	coil := datasets.SimCOIL100(coilCfg, rng)
+
+	return []Table{
+		table3For("EMNIST (simulated)", em, emCfg.Classes, s, rng),
+		table3For("Augmented COIL100 (simulated)", coil, coilCfg.Classes, s, rng),
+	}
+}
+
+func table3For(name string, ds synth.Dataset, classes int, s Scale, rng *rand.Rand) Table {
+	t := Table{
+		Title:  fmt.Sprintf("Table III — %s (Z=%d, 2≤L⁽ᶻ⁾≤4, N=%d)", name, s.T3Z, ds.N()),
+		Header: []string{"Method", "ACC(a%)", "NMI(n%)", "CONN(c̄)", "T(sec.)"},
+	}
+	inst := datasetInstance(ds, classes, s.T3Z, 2, 4, rng)
+	addEval := func(method string, ev Eval) {
+		conn := "-"
+		if ev.HasConn {
+			conn = f4(ev.ConnAvg)
+		}
+		t.AddRow(method, f1(ev.ACC), f1(ev.NMI), conn, fsec(ev.Seconds))
+	}
+	addEval("Fed-SC (SSC)", runFedSC(inst, core.CentralSSC, 0, true, s.RealWorldRMax, true, rng))
+	addEval("Fed-SC (TSC)", runFedSC(inst, core.CentralTSC, 0, true, s.RealWorldRMax, true, rng))
+	addEval("k-FED", runKFED(inst, 0, rng))
+	addEval("k-FED + PCA-10", runKFED(inst, 10, rng))
+	addEval("k-FED + PCA-100", runKFED(inst, 100, rng))
+	// Centralized baselines on a subsample (the full pooled set is what
+	// makes them prohibitively slow in the paper).
+	sub := datasets.Subsample(ds, s.T3CentralizedN, rng)
+	for _, m := range subspace.Methods() {
+		ev := runCentral(m, sub.X, sub.Labels, classes, rng)
+		addEval(centralName(m), ev)
+	}
+	return t
+}
+
+func centralName(m subspace.Method) string {
+	switch m {
+	case subspace.MethodSSC:
+		return "SSC"
+	case subspace.MethodSSCOMP:
+		return "SSCOMP"
+	case subspace.MethodEnSC:
+		return "EnSC"
+	case subspace.MethodTSC:
+		return "TSC"
+	case subspace.MethodNSN:
+		return "NSN"
+	}
+	return string(m)
+}

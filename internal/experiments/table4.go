@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsc/internal/core"
+	"fedsc/internal/datasets"
+	"fedsc/internal/synth"
+)
+
+// Table4 reproduces Table IV: the clustering accuracy of the five
+// federated methods as the number of local clusters L′ grows, on both
+// simulated real-world datasets. Heterogeneity (small L′) should help
+// every method, Fed-SC most visibly.
+func Table4(s Scale) []Table {
+	rng := rand.New(rand.NewSource(s.Seed + 4))
+	emCfg := datasets.DefaultEMNIST()
+	emCfg.Ambient = s.RealWorldAmbient
+	emCfg.Classes = s.T4Classes
+	em := datasets.SimEMNIST(emCfg, s.T4Points, rng)
+	coilCfg := datasets.DefaultCOIL()
+	coilCfg.Ambient = s.RealWorldAmbient
+	coilCfg.Classes = s.T4Classes
+	coilCfg.Views = s.T3COILViews
+	coilCfg.AugmentFactor = 1
+	coil := datasets.SimCOIL100(coilCfg, rng)
+
+	return []Table{
+		table4For("EMNIST (simulated)", em, s.T4Classes, s, rng),
+		table4For("Augmented COIL100 (simulated)", coil, s.T4Classes, s, rng),
+	}
+}
+
+func table4For(name string, ds synth.Dataset, classes int, s Scale, rng *rand.Rand) Table {
+	header := []string{"L'"}
+	for _, lp := range s.T4LPrimes {
+		header = append(header, fmt.Sprint(lp))
+	}
+	t := Table{
+		Title:  fmt.Sprintf("Table IV — accuracy vs L' on %s (Z=%d)", name, s.T3Z),
+		Header: header,
+	}
+	rows := map[string][]string{}
+	order := []string{"Fed-SC (SSC)", "Fed-SC (TSC)", "k-FED", "k-FED + PCA-10", "k-FED + PCA-100"}
+	for _, m := range order {
+		rows[m] = []string{m}
+	}
+	for _, lp := range s.T4LPrimes {
+		inst := datasetInstance(ds, classes, s.T3Z, lp, lp, rng)
+		rows["Fed-SC (SSC)"] = append(rows["Fed-SC (SSC)"],
+			f1(runFedSC(inst, core.CentralSSC, 0, true, 0, false, rng).ACC))
+		rows["Fed-SC (TSC)"] = append(rows["Fed-SC (TSC)"],
+			f1(runFedSC(inst, core.CentralTSC, 0, true, 0, false, rng).ACC))
+		rows["k-FED"] = append(rows["k-FED"], f1(runKFED(inst, 0, rng).ACC))
+		rows["k-FED + PCA-10"] = append(rows["k-FED + PCA-10"], f1(runKFED(inst, 10, rng).ACC))
+		rows["k-FED + PCA-100"] = append(rows["k-FED + PCA-100"], f1(runKFED(inst, 100, rng).ACC))
+	}
+	// Rewrite the first header cell to carry the method column.
+	t.Header = append([]string{"Method \\ L'"}, t.Header[1:]...)
+	for _, m := range order {
+		t.AddRow(rows[m]...)
+	}
+	return t
+}

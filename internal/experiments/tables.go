@@ -1,0 +1,86 @@
+// Package experiments regenerates every figure and table of the paper's
+// evaluation (Section VI): Fig. 4 (federated methods vs number of
+// devices), Fig. 5 (heterogeneity heatmap), Fig. 6 (Fed-SC vs centralized
+// SC), Fig. 7 (communication-noise robustness), Table III (real-world
+// datasets) and Table IV (accuracy vs L′), plus the communication-cost
+// accounting of Section IV-E and ablations of the design choices. Each
+// experiment returns a Table whose rows mirror the series the paper
+// plots.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	// Title names the experiment (e.g. "Fig. 4 — ACC vs Z, Non-IID-2").
+	Title string
+	// Header labels the columns.
+	Header []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+}
+
+// AddRow appends formatted cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns for terminal output.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// TSV renders the table as tab-separated values for downstream plotting.
+func (t Table) TSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, "\t"))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, "\t"))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// f1 formats a float with one decimal (ACC/NMI percentages).
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// f4 formats a float with four decimals (connectivity).
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
+
+// fsec formats seconds with two decimals.
+func fsec(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,85 @@
+package fednet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+
+	"fedsc/internal/core"
+	"fedsc/internal/mat"
+)
+
+// ClientResult is the outcome of one device's participation in a round.
+type ClientResult struct {
+	// Labels is the global cluster of each local point.
+	Labels []int
+	// R is the number of local clusters the device found.
+	R int
+	// SampleAssignments are the server labels of the uploaded samples.
+	SampleAssignments []int
+}
+
+// RunClient executes the full client side of the protocol on an
+// established connection: Phase 1 locally on x (columns = points), one
+// uplink message, one downlink message, Phase 3 locally. The connection
+// is closed before returning.
+func RunClient(conn net.Conn, deviceID int, x *mat.Dense, local core.LocalOptions, rng *rand.Rand) (ClientResult, error) {
+	defer conn.Close()
+	lr := core.LocalClusterAndSample(x, local, rng)
+	rows, cols := lr.Samples.Dims()
+	upload := SampleUpload{
+		DeviceID: deviceID,
+		Rows:     rows,
+		Cols:     cols,
+		Data:     lr.Samples.Data(),
+	}
+	if err := gob.NewEncoder(conn).Encode(upload); err != nil {
+		return ClientResult{}, fmt.Errorf("fednet: device %d upload: %w", deviceID, err)
+	}
+	var reply AssignmentReply
+	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+		return ClientResult{}, fmt.Errorf("fednet: device %d reply: %w", deviceID, err)
+	}
+	if reply.Err != "" {
+		return ClientResult{}, fmt.Errorf("fednet: device %d rejected by server: %s", deviceID, reply.Err)
+	}
+	if len(reply.Assignments) != cols {
+		return ClientResult{}, fmt.Errorf("fednet: device %d got %d assignments for %d samples",
+			deviceID, len(reply.Assignments), cols)
+	}
+	// Phase 3: local update. With SamplesPerCluster > 1 the local
+	// cluster's label is the majority vote over its samples.
+	spc := local.SamplesPerCluster
+	if spc <= 0 {
+		spc = 1
+	}
+	labels := make([]int, x.Cols())
+	sampleLabels := make([]int, lr.R())
+	for t, idx := range lr.Partitions {
+		votes := map[int]int{}
+		for s := 0; s < spc; s++ {
+			votes[reply.Assignments[t*spc+s]]++
+		}
+		best, bestN := 0, -1
+		for lab, n := range votes {
+			if n > bestN {
+				best, bestN = lab, n
+			}
+		}
+		sampleLabels[t] = best
+		for _, i := range idx {
+			labels[i] = best
+		}
+	}
+	return ClientResult{Labels: labels, R: lr.R(), SampleAssignments: sampleLabels}, nil
+}
+
+// DialAndRun connects to addr over TCP and runs the client protocol.
+func DialAndRun(addr string, deviceID int, x *mat.Dense, local core.LocalOptions, rng *rand.Rand) (ClientResult, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return ClientResult{}, fmt.Errorf("fednet: dial %s: %w", addr, err)
+	}
+	return RunClient(conn, deviceID, x, local, rng)
+}

@@ -1,0 +1,304 @@
+package fednet
+
+import (
+	"encoding/gob"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fedsc/internal/core"
+	"fedsc/internal/mat"
+	"fedsc/internal/metrics"
+	"fedsc/internal/synth"
+)
+
+// fedDevices builds Z devices with L' of L subspaces each (clean data).
+func fedDevices(n, d, l, z, lPrime, perCluster int, seed int64) ([]*mat.Dense, [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	s := synth.RandomSubspaces(n, d, l, rng)
+	devices := make([]*mat.Dense, z)
+	truth := make([][]int, z)
+	for dev := 0; dev < z; dev++ {
+		clusters := rng.Perm(l)[:lPrime]
+		counts := make([]int, l)
+		for _, c := range clusters {
+			counts[c] = perCluster
+		}
+		ds := s.SampleCounts(counts, rng)
+		devices[dev] = ds.X
+		truth[dev] = ds.Labels
+	}
+	return devices, truth
+}
+
+func runRound(t *testing.T, devices []*mat.Dense, l int, viaTCP bool) ([][]int, ServeStats) {
+	t.Helper()
+	z := len(devices)
+	srv := &Server{L: l, Expect: z, Seed: 99}
+	results := make([]ClientResult, z)
+	errs := make([]error, z)
+	var stats ServeStats
+	var serveErr error
+	var wg sync.WaitGroup
+
+	if viaTCP {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		defer ln.Close()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, serveErr = srv.Serve(ln)
+		}()
+		addr := ln.Addr().String()
+		var cw sync.WaitGroup
+		for dev := range devices {
+			cw.Add(1)
+			go func(dev int) {
+				defer cw.Done()
+				rng := rand.New(rand.NewSource(int64(1000 + dev)))
+				results[dev], errs[dev] = DialAndRun(addr, dev, devices[dev],
+					core.LocalOptions{UseEigengap: true}, rng)
+			}(dev)
+		}
+		cw.Wait()
+	} else {
+		serverConns := make([]net.Conn, z)
+		var cw sync.WaitGroup
+		for dev := range devices {
+			sc, cc := net.Pipe()
+			serverConns[dev] = sc
+			cw.Add(1)
+			go func(dev int, conn net.Conn) {
+				defer cw.Done()
+				rng := rand.New(rand.NewSource(int64(1000 + dev)))
+				results[dev], errs[dev] = RunClient(conn, dev, devices[dev],
+					core.LocalOptions{UseEigengap: true}, rng)
+			}(dev, cc)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats, serveErr = srv.ServeConns(serverConns)
+		}()
+		cw.Wait()
+	}
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("server: %v", serveErr)
+	}
+	labels := make([][]int, z)
+	for dev, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", dev, err)
+		}
+		labels[dev] = results[dev].Labels
+	}
+	return labels, stats
+}
+
+func TestRoundOverPipes(t *testing.T) {
+	devices, truth := fedDevices(20, 3, 4, 16, 2, 8, 160)
+	labels, stats := runRound(t, devices, 4, false)
+	acc := metrics.Accuracy(core.FlattenLabels(truth), core.FlattenLabels(labels))
+	if acc < 95 {
+		t.Fatalf("pipe-transport Fed-SC accuracy %.1f%%", acc)
+	}
+	if stats.Samples == 0 || stats.UplinkBytes == 0 {
+		t.Fatalf("stats not collected: %+v", stats)
+	}
+}
+
+func TestRoundOverTCP(t *testing.T) {
+	devices, truth := fedDevices(20, 3, 4, 16, 2, 8, 161)
+	labels, stats := runRound(t, devices, 4, true)
+	acc := metrics.Accuracy(core.FlattenLabels(truth), core.FlattenLabels(labels))
+	if acc < 95 {
+		t.Fatalf("TCP-transport Fed-SC accuracy %.1f%%", acc)
+	}
+	// The uplink must carry at least the raw float payload of all samples.
+	minBytes := int64(stats.Samples * 20 * 8)
+	if stats.UplinkBytes < minBytes {
+		t.Fatalf("uplink bytes %d below raw payload %d", stats.UplinkBytes, minBytes)
+	}
+}
+
+func TestNetworkMatchesInProcessScheme(t *testing.T) {
+	devices, _ := fedDevices(20, 3, 4, 12, 2, 8, 162)
+	netLabels, _ := runRound(t, devices, 4, false)
+	// The in-process scheme with the same per-device seeds and the same
+	// server seed must produce the same partition.
+	z := len(devices)
+	locals := make([]core.LocalResult, z)
+	for dev := range devices {
+		rng := rand.New(rand.NewSource(int64(1000 + dev)))
+		locals[dev] = core.LocalClusterAndSample(devices[dev], core.LocalOptions{UseEigengap: true}, rng)
+	}
+	res := core.Aggregate(devices, locals, 4, core.Options{}, rand.New(rand.NewSource(99)))
+	a := core.FlattenLabels(netLabels)
+	b := core.FlattenLabels(res.Labels)
+	if metrics.Accuracy(a, b) != 100 {
+		t.Fatal("network round and in-process scheme disagree on the partition")
+	}
+}
+
+func TestUploadValidate(t *testing.T) {
+	good := SampleUpload{Rows: 2, Cols: 3, Data: make([]float64, 6)}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid upload rejected: %v", err)
+	}
+	bad := SampleUpload{Rows: 2, Cols: 3, Data: make([]float64, 5)}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("mismatched payload accepted")
+	}
+	neg := SampleUpload{Rows: -1, Cols: 3}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative dims accepted")
+	}
+}
+
+func TestServerRejectsMalformedUpload(t *testing.T) {
+	sc, cc := net.Pipe()
+	srv := &Server{L: 2, Expect: 1, Seed: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.ServeConns([]net.Conn{sc})
+		done <- err
+	}()
+	// Send a malformed upload directly.
+	go func() {
+		gob.NewEncoder(cc).Encode(SampleUpload{DeviceID: 7, Rows: 3, Cols: 2, Data: []float64{1}})
+	}()
+	var reply AssignmentReply
+	if err := gob.NewDecoder(cc).Decode(&reply); err != nil {
+		t.Fatalf("decode reply: %v", err)
+	}
+	if reply.Err == "" {
+		t.Fatal("server accepted malformed upload")
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "device 7") {
+		t.Fatalf("server error should name the device: %v", err)
+	}
+}
+
+func TestServerStragglerTimeoutProceedsWithSubset(t *testing.T) {
+	// 20 devices expected, only 12 show up; the round must complete with
+	// the 12 after the straggler timeout (still enough samples per
+	// subspace for the central clustering).
+	devices, truth := fedDevices(20, 3, 4, 12, 2, 10, 163)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	srv := &Server{L: 4, Expect: 20, Seed: 1, WaitTimeout: 300 * time.Millisecond, MinClients: 8}
+	var stats ServeStats
+	var serveErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		stats, serveErr = srv.Serve(ln)
+	}()
+	results := make([]ClientResult, len(devices))
+	var cw sync.WaitGroup
+	for dev := range devices {
+		cw.Add(1)
+		go func(dev int) {
+			defer cw.Done()
+			rng := rand.New(rand.NewSource(int64(300 + dev)))
+			results[dev], _ = DialAndRun(ln.Addr().String(), dev, devices[dev],
+				core.LocalOptions{UseEigengap: true}, rng)
+		}(dev)
+	}
+	cw.Wait()
+	wg.Wait()
+	if serveErr != nil {
+		t.Fatalf("straggler round failed: %v", serveErr)
+	}
+	if stats.Devices != 12 {
+		t.Fatalf("round ran with %d devices, want 12", stats.Devices)
+	}
+	labels := make([][]int, len(devices))
+	for dev := range results {
+		labels[dev] = results[dev].Labels
+	}
+	acc := metrics.Accuracy(core.FlattenLabels(truth), core.FlattenLabels(labels))
+	if acc < 90 {
+		t.Fatalf("subset round accuracy %.1f%%", acc)
+	}
+}
+
+func TestServerStragglerTimeoutBelowMinimumFails(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	srv := &Server{L: 2, Expect: 5, Seed: 1, WaitTimeout: 200 * time.Millisecond, MinClients: 3}
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.Serve(ln)
+		done <- err
+	}()
+	// One lone client.
+	rng := rand.New(rand.NewSource(1))
+	devices, _ := fedDevices(10, 2, 2, 1, 2, 8, 164)
+	go DialAndRun(ln.Addr().String(), 0, devices[0], core.LocalOptions{UseEigengap: true}, rng)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("round should fail below MinClients")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not give up")
+	}
+}
+
+func TestServerStragglerStalledUploadDoesNotHang(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	srv := &Server{L: 2, Expect: 3, Seed: 1, WaitTimeout: 250 * time.Millisecond, MinClients: 1}
+	var stats ServeStats
+	var serveErr error
+	doneCh := make(chan struct{})
+	go func() {
+		stats, serveErr = srv.Serve(ln)
+		close(doneCh)
+	}()
+	// One healthy client, one that connects but never uploads.
+	devices, _ := fedDevices(10, 2, 2, 1, 2, 8, 165)
+	go DialAndRun(ln.Addr().String(), 0, devices[0], core.LocalOptions{UseEigengap: true},
+		rand.New(rand.NewSource(2)))
+	stalled, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer stalled.Close()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled upload held the round hostage")
+	}
+	if serveErr != nil {
+		t.Fatalf("round should tolerate the stalled device: %v", serveErr)
+	}
+	if len(stats.Failures) != 1 {
+		t.Fatalf("expected one recorded failure, got %v", stats.Failures)
+	}
+}
+
+func TestServerRequiresPositiveExpect(t *testing.T) {
+	srv := &Server{L: 2}
+	if _, err := srv.Serve(&staticListener{}); err == nil {
+		t.Fatal("expected error for Expect=0 Serve")
+	}
+}

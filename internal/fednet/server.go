@@ -1,0 +1,266 @@
+package fednet
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"fedsc/internal/core"
+	"fedsc/internal/mat"
+)
+
+// Server aggregates one-shot Fed-SC uploads and answers each client with
+// its sample assignments.
+type Server struct {
+	// L is the number of global clusters.
+	L int
+	// Expect is the number of client devices that will connect; the
+	// central clustering runs once all of them have uploaded.
+	Expect int
+	// Central configures the Phase 2 algorithm (SSC by default).
+	Central core.CentralOptions
+	// Seed makes the server-side clustering deterministic.
+	Seed int64
+	// WaitTimeout, when positive, makes the round straggler-tolerant:
+	// the timer starts at the first accepted connection, and when it
+	// fires the server proceeds with the devices that have connected so
+	// far (at least MinClients) instead of blocking on absent devices —
+	// a one-shot scheme cannot wait forever for a phone that went
+	// offline. Zero keeps the strict wait-for-all behaviour.
+	WaitTimeout time.Duration
+	// MinClients is the minimum number of devices required to run the
+	// round when WaitTimeout fires (default 1).
+	MinClients int
+}
+
+// ServeStats summarizes one completed aggregation round.
+type ServeStats struct {
+	// UplinkBytes is the gob-encoded uplink volume actually received.
+	UplinkBytes int64
+	// Samples is the total number of samples pooled at the server.
+	Samples int
+	// Devices is the number of devices that joined the round (may be
+	// fewer than Server.Expect in straggler-tolerant mode).
+	Devices int
+	// Failures describes devices whose upload was rejected or timed out;
+	// only populated in straggler-tolerant mode, where they do not fail
+	// the round.
+	Failures []string
+}
+
+// Serve accepts exactly s.Expect client connections on ln, collects their
+// uploads, runs the central clustering, and replies to every client with
+// its assignment slice. It returns after all replies are written. The
+// listener is not closed. Serve is a single aggregation round, matching
+// the one-shot nature of the scheme.
+func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
+	if s.Expect <= 0 {
+		return ServeStats{}, fmt.Errorf("fednet: server expects a positive client count, got %d", s.Expect)
+	}
+	type clientState struct {
+		conn   net.Conn
+		enc    *gob.Encoder
+		upload SampleUpload
+		err    error
+	}
+	var clients []*clientState
+	var wg sync.WaitGroup
+	counter := &countingWriter{}
+	// Accept in a separate goroutine so the straggler timeout can cut the
+	// wait short; once the round proceeds, late connections are refused.
+	accepted := make(chan net.Conn)
+	acceptErr := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case acceptErr <- err:
+				case <-done:
+				}
+				return
+			}
+			select {
+			case accepted <- conn:
+			case <-done:
+				conn.Close()
+				return
+			}
+		}
+	}()
+	var timeout <-chan time.Time
+	abort := func() {
+		for _, c := range clients {
+			c.conn.Close()
+		}
+	}
+collect:
+	for len(clients) < s.Expect {
+		select {
+		case conn := <-accepted:
+			c := &clientState{conn: conn, enc: gob.NewEncoder(conn)}
+			clients = append(clients, c)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cr := &countingReader{r: conn, counter: counter}
+				dec := gob.NewDecoder(cr)
+				if err := dec.Decode(&c.upload); err != nil {
+					c.err = fmt.Errorf("fednet: decode upload: %w", err)
+					return
+				}
+				c.err = c.upload.Validate()
+			}()
+			if s.WaitTimeout > 0 && timeout == nil {
+				timeout = time.After(s.WaitTimeout)
+			}
+		case err := <-acceptErr:
+			abort()
+			return ServeStats{}, fmt.Errorf("fednet: accept: %w", err)
+		case <-timeout:
+			min := s.MinClients
+			if min <= 0 {
+				min = 1
+			}
+			if len(clients) < min {
+				abort()
+				return ServeStats{}, fmt.Errorf("fednet: only %d of minimum %d devices connected before the straggler timeout", len(clients), min)
+			}
+			// Give in-flight uploads a bounded grace period so a stalled
+			// device cannot hold the round hostage.
+			deadline := time.Now().Add(s.WaitTimeout)
+			for _, c := range clients {
+				c.conn.SetReadDeadline(deadline)
+			}
+			break collect
+		}
+	}
+	wg.Wait()
+	// Pool the valid uploads; reject invalid clients explicitly.
+	var parts []*mat.Dense
+	offsets := make([]int, len(clients))
+	total := 0
+	ambient := -1
+	for i, c := range clients {
+		offsets[i] = total
+		if c.err != nil {
+			continue
+		}
+		if ambient < 0 && c.upload.Cols > 0 {
+			ambient = c.upload.Rows
+		}
+		if c.upload.Cols > 0 && c.upload.Rows != ambient {
+			c.err = fmt.Errorf("fednet: ambient dimension %d differs from %d", c.upload.Rows, ambient)
+			continue
+		}
+		m := mat.NewDenseData(c.upload.Rows, c.upload.Cols, c.upload.Data)
+		parts = append(parts, m)
+		total += c.upload.Cols
+	}
+	var labels []int
+	if total > 0 {
+		theta := mat.HStack(parts...)
+		rng := rand.New(rand.NewSource(s.Seed))
+		res := core.CentralCluster(theta, s.Expect, s.L, s.Central, rng)
+		labels = res.Labels
+	}
+	// Reply to every client and close the connections.
+	for i, c := range clients {
+		reply := AssignmentReply{}
+		if c.err != nil {
+			reply.Err = c.err.Error()
+		} else {
+			reply.Assignments = labels[offsets[i] : offsets[i]+c.upload.Cols]
+		}
+		if err := c.enc.Encode(reply); err != nil && c.err == nil {
+			c.err = fmt.Errorf("fednet: reply to device %d: %w", c.upload.DeviceID, err)
+		}
+		c.conn.Close()
+	}
+	stats := ServeStats{UplinkBytes: counter.total(), Samples: total, Devices: len(clients)}
+	valid := 0
+	for _, c := range clients {
+		if c.err == nil {
+			valid++
+		} else {
+			stats.Failures = append(stats.Failures,
+				fmt.Sprintf("device %d: %v", c.upload.DeviceID, c.err))
+		}
+	}
+	if s.WaitTimeout > 0 {
+		// Straggler-tolerant mode: the round succeeds as long as enough
+		// devices made it; individual failures are reported in stats.
+		min := s.MinClients
+		if min <= 0 {
+			min = 1
+		}
+		if valid < min {
+			return stats, fmt.Errorf("fednet: only %d of minimum %d devices uploaded successfully", valid, min)
+		}
+		return stats, nil
+	}
+	for _, c := range clients {
+		if c.err != nil {
+			return stats, fmt.Errorf("fednet: device %d failed: %w", c.upload.DeviceID, c.err)
+		}
+	}
+	return stats, nil
+}
+
+// ServeConns is Serve for pre-established connections (e.g. net.Pipe in
+// tests or in-process deployments); it behaves identically but skips the
+// listener.
+func (s *Server) ServeConns(conns []net.Conn) (ServeStats, error) {
+	ln := &staticListener{conns: conns}
+	saved := s.Expect
+	if s.Expect == 0 {
+		s.Expect = len(conns)
+	}
+	stats, err := s.Serve(ln)
+	s.Expect = saved
+	return stats, err
+}
+
+// staticListener hands out a fixed set of connections.
+type staticListener struct {
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *staticListener) Accept() (net.Conn, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.conns) == 0 {
+		return nil, io.EOF
+	}
+	c := l.conns[0]
+	l.conns = l.conns[1:]
+	return c, nil
+}
+
+func (l *staticListener) Close() error { return nil }
+
+func (l *staticListener) Addr() net.Addr { return staticAddr{} }
+
+type staticAddr struct{}
+
+func (staticAddr) Network() string { return "static" }
+func (staticAddr) String() string  { return "static" }
+
+// countingReader counts bytes flowing through a reader.
+type countingReader struct {
+	r       io.Reader
+	counter *countingWriter
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.counter.add(n)
+	return n, err
+}

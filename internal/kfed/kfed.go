@@ -1,0 +1,203 @@
+// Package kfed implements the one-shot federated k-means baseline k-FED
+// (Dennis, Li & Smith, ICML 2021) that the paper compares against, plus
+// its PCA-preprocessed variants (k-FED + PCA-10 / PCA-100 in Tables
+// III-IV).
+//
+// Protocol: every device clusters its local data with k-means into k′
+// local clusters and uploads only the k′ centroids; the server seeds L
+// global centers from the collected centroids by farthest-first traversal
+// and refines them with Lloyd iterations; each device then labels its
+// points by its local cluster's global assignment. Exactly one
+// communication round is used, mirroring Fed-SC's one-shot structure.
+package kfed
+
+import (
+	"math/rand"
+
+	"fedsc/internal/kmeans"
+	"fedsc/internal/mat"
+	"fedsc/internal/pca"
+)
+
+// Options configures a k-FED run.
+type Options struct {
+	// KLocal is the number of local clusters k′ each device computes.
+	// Zero defaults to L (every device may see every cluster); the k-FED
+	// analysis wants k′ ≤ L with heterogeneity.
+	KLocal int
+	// PCADim, when positive, projects each device's local data to this
+	// dimension with a locally fitted PCA before clustering (the
+	// k-FED + PCA baselines).
+	PCADim int
+	// Local tunes the on-device k-means.
+	Local kmeans.Options
+	// Central tunes the server-side Lloyd refinement.
+	Central kmeans.Options
+}
+
+// Result holds the outcome of a federated k-means run.
+type Result struct {
+	// Labels[z][i] is the global cluster of point i on device z.
+	Labels [][]int
+	// UplinkFloats counts the float64 values uploaded across all devices
+	// (centroids), for communication-cost accounting.
+	UplinkFloats int
+}
+
+// Run executes one-shot federated k-means over the devices' local data
+// (columns = points) targeting l global clusters.
+func Run(devices []*mat.Dense, l int, rng *rand.Rand, opts Options) Result {
+	kLocal := opts.KLocal
+	if kLocal <= 0 {
+		kLocal = l
+	}
+	type localOut struct {
+		centroids *mat.Dense // rows = centroids (possibly PCA-space)
+		labels    []int      // local cluster of each point
+	}
+	locals := make([]localOut, len(devices))
+	uplink := 0
+	for z, x := range devices {
+		work := x
+		if opts.PCADim > 0 {
+			work = pca.FitTransform(x, opts.PCADim)
+		}
+		pts := work.T() // kmeans clusters rows
+		k := kLocal
+		if n := pts.Rows(); k > n {
+			k = n
+		}
+		res := kmeans.Run(pts, k, rng, opts.Local)
+		// Centroids must live in the shared ambient space for the server
+		// to aggregate them; with PCA preprocessing the projection is
+		// local and incomparable across devices, so lift the centroids
+		// back by averaging the ORIGINAL points of each local cluster.
+		cent := centroidsInAmbient(x, res.Labels, k)
+		locals[z] = localOut{centroids: cent, labels: res.Labels}
+		uplink += cent.Rows() * cent.Cols()
+	}
+	// Server: stack all local centroids (rows) and cluster them into l.
+	var rows []*mat.Dense
+	for _, lo := range locals {
+		rows = append(rows, lo.centroids.T())
+	}
+	all := mat.HStack(rows...).T() // rows = all centroids
+	global := centralCluster(all, l, rng, opts.Central)
+	// Broadcast: each local cluster t of device z got global label
+	// global[offset+t]; points inherit.
+	out := Result{Labels: make([][]int, len(devices)), UplinkFloats: uplink}
+	offset := 0
+	for z, lo := range locals {
+		k := lo.centroids.Rows()
+		labels := make([]int, len(lo.labels))
+		for i, t := range lo.labels {
+			labels[i] = global[offset+t]
+		}
+		out.Labels[z] = labels
+		offset += k
+	}
+	return out
+}
+
+// centroidsInAmbient averages the original-space points of each local
+// cluster; empty clusters yield zero rows, which the server treats as any
+// other centroid.
+func centroidsInAmbient(x *mat.Dense, labels []int, k int) *mat.Dense {
+	n, _ := x.Dims()
+	cent := mat.NewDense(k, n)
+	counts := make([]int, k)
+	for i, t := range labels {
+		counts[t]++
+		row := cent.Row(t)
+		for r := 0; r < n; r++ {
+			row[r] += x.At(r, i)
+		}
+	}
+	for t := 0; t < k; t++ {
+		if counts[t] > 0 {
+			inv := 1 / float64(counts[t])
+			mat.ScaleVec(inv, cent.Row(t))
+		}
+	}
+	return cent
+}
+
+// centralCluster seeds l centers from the collected centroids by
+// farthest-first traversal (the deterministic seeding of the k-FED
+// central step, robust when local clusters from one global cluster are
+// near-duplicates) and refines with Lloyd, then labels each centroid.
+func centralCluster(centroids *mat.Dense, l int, rng *rand.Rand, opts kmeans.Options) []int {
+	n, d := centroids.Dims()
+	if l > n {
+		l = n
+	}
+	centers := mat.NewDense(l, d)
+	// Farthest-first traversal.
+	first := rng.Intn(n)
+	copy(centers.Row(0), centroids.Row(first))
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dist[i] = sqDist(centroids.Row(i), centers.Row(0))
+	}
+	for c := 1; c < l; c++ {
+		far, fd := 0, -1.0
+		for i, v := range dist {
+			if v > fd {
+				far, fd = i, v
+			}
+		}
+		copy(centers.Row(c), centroids.Row(far))
+		for i := 0; i < n; i++ {
+			if d2 := sqDist(centroids.Row(i), centers.Row(c)); d2 < dist[i] {
+				dist[i] = d2
+			}
+		}
+	}
+	// Lloyd refinement from this seeding.
+	labels := kmeans.Assign(centroids, centers)
+	maxIter := opts.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		counts := make([]int, l)
+		next := mat.NewDense(l, d)
+		for i, t := range labels {
+			counts[t]++
+			row := next.Row(t)
+			for j, v := range centroids.Row(i) {
+				row[j] += v
+			}
+		}
+		for t := 0; t < l; t++ {
+			if counts[t] == 0 {
+				copy(next.Row(t), centers.Row(t))
+				continue
+			}
+			mat.ScaleVec(1/float64(counts[t]), next.Row(t))
+		}
+		newLabels := kmeans.Assign(centroids, next)
+		centers = next
+		changed := false
+		for i := range labels {
+			if labels[i] != newLabels[i] {
+				changed = true
+				break
+			}
+		}
+		labels = newLabels
+		if !changed {
+			break
+		}
+	}
+	return labels
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,145 @@
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedsc/internal/mat"
+)
+
+// gaussianBlobs builds n points per center around each given center.
+func gaussianBlobs(centers *mat.Dense, perCenter int, sigma float64, rng *rand.Rand) (*mat.Dense, []int) {
+	k, d := centers.Dims()
+	pts := mat.NewDense(k*perCenter, d)
+	truth := make([]int, k*perCenter)
+	for c := 0; c < k; c++ {
+		for i := 0; i < perCenter; i++ {
+			row := pts.Row(c*perCenter + i)
+			for j := 0; j < d; j++ {
+				row[j] = centers.At(c, j) + sigma*rng.NormFloat64()
+			}
+			truth[c*perCenter+i] = c
+		}
+	}
+	return pts, truth
+}
+
+// samePartition reports whether labels a and b induce the same partition.
+func samePartition(a, b []int) bool {
+	fw := map[int]int{}
+	bw := map[int]int{}
+	for i := range a {
+		if v, ok := fw[a[i]]; ok && v != b[i] {
+			return false
+		}
+		if v, ok := bw[b[i]]; ok && v != a[i] {
+			return false
+		}
+		fw[a[i]] = b[i]
+		bw[b[i]] = a[i]
+	}
+	return true
+}
+
+func TestRunSeparatedBlobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	centers := mat.NewDenseData(3, 2, []float64{0, 0, 10, 0, 0, 10})
+	pts, truth := gaussianBlobs(centers, 30, 0.5, rng)
+	res := Run(pts, 3, rng, Options{})
+	if !samePartition(res.Labels, truth) {
+		t.Fatal("k-means failed to recover well-separated blobs")
+	}
+	if res.Inertia <= 0 {
+		t.Fatalf("inertia = %v, expected positive", res.Inertia)
+	}
+}
+
+func TestRunKClampedToN(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	pts := mat.RandomGaussian(3, 2, rng)
+	res := Run(pts, 10, rng, Options{})
+	if len(res.Labels) != 3 {
+		t.Fatalf("labels length %d", len(res.Labels))
+	}
+	seen := map[int]bool{}
+	for _, l := range res.Labels {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("expected 3 singleton clusters, got %d", len(seen))
+	}
+}
+
+func TestRunSingleCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	pts := mat.RandomGaussian(20, 3, rng)
+	res := Run(pts, 1, rng, Options{})
+	for _, l := range res.Labels {
+		if l != 0 {
+			t.Fatal("k=1 should label everything 0")
+		}
+	}
+	// Centroid is the mean.
+	for j := 0; j < 3; j++ {
+		mean := 0.0
+		for i := 0; i < 20; i++ {
+			mean += pts.At(i, j)
+		}
+		mean /= 20
+		if math.Abs(res.Centroids.At(0, j)-mean) > 1e-12 {
+			t.Fatal("k=1 centroid is not the mean")
+		}
+	}
+}
+
+func TestRunPanicsOnNonPositiveK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for k=0")
+		}
+	}()
+	rng := rand.New(rand.NewSource(63))
+	Run(mat.NewDense(4, 2), 0, rng, Options{})
+}
+
+func TestAssign(t *testing.T) {
+	cents := mat.NewDenseData(2, 1, []float64{0, 10})
+	pts := mat.NewDenseData(3, 1, []float64{1, 9, 4})
+	labels := Assign(pts, cents)
+	want := []int{0, 1, 0}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("Assign = %v want %v", labels, want)
+		}
+	}
+}
+
+func TestRunDeterministicGivenSeed(t *testing.T) {
+	centers := mat.NewDenseData(2, 2, []float64{0, 0, 8, 8})
+	pts, _ := gaussianBlobs(centers, 25, 0.4, rand.New(rand.NewSource(64)))
+	a := Run(pts, 2, rand.New(rand.NewSource(7)), Options{})
+	b := Run(pts, 2, rand.New(rand.NewSource(7)), Options{})
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed should give identical labels")
+		}
+	}
+}
+
+func TestEmptyClusterReseeded(t *testing.T) {
+	// Duplicate points force potential empty clusters; Run must still
+	// return k distinct centroid rows without NaNs.
+	pts := mat.NewDense(6, 1)
+	for i := 0; i < 5; i++ {
+		pts.Set(i, 0, 1)
+	}
+	pts.Set(5, 0, 100)
+	rng := rand.New(rand.NewSource(65))
+	res := Run(pts, 3, rng, Options{Restarts: 2})
+	for i := 0; i < 3; i++ {
+		if math.IsNaN(res.Centroids.At(i, 0)) {
+			t.Fatal("NaN centroid after empty-cluster reseed")
+		}
+	}
+}

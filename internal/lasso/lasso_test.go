@@ -1,0 +1,239 @@
+package lasso
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedsc/internal/mat"
+)
+
+func TestSoftThreshold(t *testing.T) {
+	cases := []struct{ v, t, want float64 }{
+		{3, 1, 2}, {-3, 1, -2}, {0.5, 1, 0}, {-0.5, 1, 0}, {1, 1, 0},
+	}
+	for _, c := range cases {
+		if got := SoftThreshold(c.v, c.t); got != c.want {
+			t.Fatalf("SoftThreshold(%v,%v) = %v want %v", c.v, c.t, got, c.want)
+		}
+	}
+}
+
+// enObjective evaluates (1/2)||y-Xc||² + λ1||c||₁ + (λ2/2)||c||².
+func enObjective(x *mat.Dense, y, c []float64, l1, l2 float64) float64 {
+	fit := mat.MulVec(x, c)
+	r := mat.Sub(y, fit, nil)
+	n2 := mat.Norm2(c)
+	return 0.5*mat.Dot(r, r) + l1*mat.Norm1(c) + 0.5*l2*n2*n2
+}
+
+func TestLassoRecoversSparseSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	n, cols := 30, 60
+	x := mat.RandomGaussian(n, cols, rng)
+	mat.NormalizeColumns(x)
+	// y = 2*x3 - 1.5*x17
+	y := make([]float64, n)
+	mat.Axpy(2, x.Col(3, nil), y)
+	mat.Axpy(-1.5, x.Col(17, nil), y)
+	c := Lasso(x, y, 0.01, nil, Options{})
+	if math.Abs(c[3]-2) > 0.1 || math.Abs(c[17]+1.5) > 0.1 {
+		t.Fatalf("Lasso missed true support: c3=%v c17=%v", c[3], c[17])
+	}
+	for j, v := range c {
+		if j != 3 && j != 17 && math.Abs(v) > 0.15 {
+			t.Fatalf("spurious coefficient c[%d]=%v", j, v)
+		}
+	}
+}
+
+func TestLassoZeroAtHighLambda(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	x := mat.RandomGaussian(10, 20, rng)
+	mat.NormalizeColumns(x)
+	y := x.Col(0, nil)
+	b := mat.MulTVec(x, y)
+	lmax := MaxCorrelation(b, nil)
+	c := Lasso(x, y, lmax*1.01, nil, Options{})
+	for j, v := range c {
+		if v != 0 {
+			t.Fatalf("c[%d]=%v should be exactly zero above λmax", j, v)
+		}
+	}
+}
+
+func TestLassoBannedIndexStaysZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	x := mat.RandomGaussian(15, 10, rng)
+	mat.NormalizeColumns(x)
+	y := x.Col(4, nil) // the banned atom is the perfect answer
+	c := Lasso(x, y, 0.01, []int{4}, Options{})
+	if c[4] != 0 {
+		t.Fatalf("banned coefficient is %v, want 0", c[4])
+	}
+}
+
+func TestLassoKKTConditions(t *testing.T) {
+	// At the optimum: |xⱼᵀr| ≤ λ for cⱼ=0 and xⱼᵀr = λ·sign(cⱼ) otherwise.
+	rng := rand.New(rand.NewSource(43))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, cols := 12, 25
+		x := mat.RandomGaussian(n, cols, r)
+		mat.NormalizeColumns(x)
+		y := mat.RandomUnitVector(n, r)
+		lambda := 0.05 + 0.2*r.Float64()
+		c := Lasso(x, y, lambda, nil, Options{})
+		fit := mat.MulVec(x, c)
+		res := mat.Sub(y, fit, nil)
+		corr := mat.MulTVec(x, res)
+		for j, cj := range c {
+			if cj == 0 {
+				if math.Abs(corr[j]) > lambda+1e-4 {
+					return false
+				}
+			} else if math.Abs(corr[j]-lambda*sign(cj)) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+func TestGramMatchesLasso(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	x := mat.RandomGaussian(20, 15, rng)
+	mat.NormalizeColumns(x)
+	y := mat.RandomUnitVector(20, rng)
+	direct := Lasso(x, y, 0.1, []int{2}, Options{})
+	g := mat.Gram(x)
+	b := mat.MulTVec(x, y)
+	viaGram := Gram(g, b, 0.1, 0, []int{2}, Options{})
+	for j := range direct {
+		if math.Abs(direct[j]-viaGram[j]) > 1e-9 {
+			t.Fatalf("Gram-domain solution differs at %d: %v vs %v", j, direct[j], viaGram[j])
+		}
+	}
+}
+
+func TestElasticNetShrinksMore(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	x := mat.RandomGaussian(20, 30, rng)
+	mat.NormalizeColumns(x)
+	y := x.Col(0, nil)
+	g := mat.Gram(x)
+	b := mat.MulTVec(x, y)
+	cl := Gram(g, b, 0.05, 0, nil, Options{})
+	cen := Gram(g, b, 0.05, 1.0, nil, Options{})
+	if mat.Norm2(cen) >= mat.Norm2(cl) {
+		t.Fatalf("elastic net should shrink: ‖en‖=%v ‖lasso‖=%v", mat.Norm2(cen), mat.Norm2(cl))
+	}
+}
+
+func TestOMPExactRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	n, cols := 25, 50
+	x := mat.RandomGaussian(n, cols, rng)
+	mat.NormalizeColumns(x)
+	y := make([]float64, n)
+	mat.Axpy(1.0, x.Col(7, nil), y)
+	mat.Axpy(-2.0, x.Col(30, nil), y)
+	c := OMP(x, y, 2, 1e-10, nil)
+	if math.Abs(c[7]-1) > 1e-8 || math.Abs(c[30]+2) > 1e-8 {
+		t.Fatalf("OMP failed: c7=%v c30=%v", c[7], c[30])
+	}
+	nnz := 0
+	for _, v := range c {
+		if v != 0 {
+			nnz++
+		}
+	}
+	if nnz != 2 {
+		t.Fatalf("OMP support size %d want 2", nnz)
+	}
+}
+
+func TestOMPRespectsBanned(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	x := mat.RandomGaussian(10, 8, rng)
+	mat.NormalizeColumns(x)
+	y := x.Col(5, nil)
+	c := OMP(x, y, 3, 1e-12, []int{5})
+	if c[5] != 0 {
+		t.Fatalf("banned atom selected: %v", c[5])
+	}
+}
+
+func TestOMPStopsAtTol(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	x := mat.RandomGaussian(10, 20, rng)
+	mat.NormalizeColumns(x)
+	y := x.Col(2, nil)
+	c := OMP(x, y, 10, 1e-8, nil)
+	nnz := 0
+	for _, v := range c {
+		if v != 0 {
+			nnz++
+		}
+	}
+	if nnz != 1 {
+		t.Fatalf("OMP should stop after exact 1-atom fit, got %d atoms", nnz)
+	}
+}
+
+func TestElasticNetActiveSetMatchesFullSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	n, cols := 20, 120
+	x := mat.RandomGaussian(n, cols, rng)
+	mat.NormalizeColumns(x)
+	y := make([]float64, n)
+	mat.Axpy(1.5, x.Col(100, nil), y)
+	mat.Axpy(1.0, x.Col(3, nil), y)
+	l1, l2 := 0.05, 0.1
+	cAS := ElasticNetActiveSet(x, y, l1, l2, nil, ActiveSetOptions{InitialSize: 5, GrowBy: 3})
+	g := mat.Gram(x)
+	b := mat.MulTVec(x, y)
+	cFull := Gram(g, b, l1, l2, nil, Options{})
+	// The two should reach (near) identical objective values.
+	oAS := enObjective(x, y, cAS, l1, l2)
+	oFull := enObjective(x, y, cFull, l1, l2)
+	if math.Abs(oAS-oFull) > 1e-5*(1+math.Abs(oFull)) {
+		t.Fatalf("active-set objective %v differs from full solve %v", oAS, oFull)
+	}
+}
+
+func TestElasticNetActiveSetBanned(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	x := mat.RandomGaussian(12, 40, rng)
+	mat.NormalizeColumns(x)
+	y := x.Col(9, nil)
+	c := ElasticNetActiveSet(x, y, 0.02, 0.05, []int{9}, ActiveSetOptions{})
+	if c[9] != 0 {
+		t.Fatalf("banned coefficient selected: %v", c[9])
+	}
+	// Must still fit y reasonably with the other atoms.
+	if mat.Norm2(c) == 0 {
+		t.Fatal("solution is identically zero")
+	}
+}
+
+func TestMaxCorrelation(t *testing.T) {
+	b := []float64{0.1, -0.9, 0.5}
+	if got := MaxCorrelation(b, nil); got != 0.9 {
+		t.Fatalf("MaxCorrelation = %v", got)
+	}
+	if got := MaxCorrelation(b, []int{1}); got != 0.5 {
+		t.Fatalf("MaxCorrelation banned = %v", got)
+	}
+}

@@ -1,0 +1,65 @@
+package lasso
+
+import (
+	"math"
+
+	"fedsc/internal/mat"
+)
+
+// OMP runs Orthogonal Matching Pursuit: it greedily selects up to kmax
+// dictionary columns of x (n x N, unit-norm columns) that best correlate
+// with the residual of y, re-fitting by least squares after every
+// selection, and stops early once the residual norm drops below tol.
+// banned indices are never selected. The dense coefficient vector
+// (length N, zero outside the support) is returned.
+func OMP(x *mat.Dense, y []float64, kmax int, tol float64, banned []int) []float64 {
+	n, cols := x.Dims()
+	if len(y) != n {
+		panic("lasso: OMP dimension mismatch")
+	}
+	isBanned := make([]bool, cols)
+	for _, i := range banned {
+		isBanned[i] = true
+	}
+	if kmax > cols {
+		kmax = cols
+	}
+	residual := make([]float64, n)
+	copy(residual, y)
+	support := make([]int, 0, kmax)
+	inSupport := make([]bool, cols)
+	var coef []float64
+	for len(support) < kmax {
+		if mat.Norm2(residual) <= tol {
+			break
+		}
+		// Select the column most correlated with the residual.
+		corr := mat.MulTVec(x, residual)
+		best, bestAbs := -1, 0.0
+		for j, v := range corr {
+			if isBanned[j] || inSupport[j] {
+				continue
+			}
+			if a := math.Abs(v); a > bestAbs {
+				best, bestAbs = j, a
+			}
+		}
+		if best < 0 || bestAbs < 1e-14 {
+			break
+		}
+		support = append(support, best)
+		inSupport[best] = true
+		// Refit on the support and update the residual.
+		sub := x.SelectCols(support)
+		coef = mat.LeastSquares(sub, y)
+		fit := mat.MulVec(sub, coef)
+		for i := range residual {
+			residual[i] = y[i] - fit[i]
+		}
+	}
+	full := make([]float64, cols)
+	for k, j := range support {
+		full[j] = coef[k]
+	}
+	return full
+}

@@ -1,0 +1,263 @@
+// Package mat provides the dense linear-algebra substrate used throughout
+// the Fed-SC reproduction: a row-major matrix type with multiplication,
+// decompositions (QR, symmetric eigendecomposition, SVD) and the small set
+// of vector kernels the clustering algorithms need.
+//
+// Everything is implemented from scratch on the standard library. The
+// decompositions follow the classical algorithms (Householder QR,
+// tridiagonalization + implicit-shift QL for symmetric eigenproblems,
+// one-sided Jacobi for the SVD) and are dimensioned for the matrix sizes
+// that arise in subspace clustering: ambient dimensions up to a few
+// thousand and cluster sizes up to a few thousand points.
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dense is a dense, row-major matrix of float64 values.
+//
+// The zero value is an empty 0x0 matrix. Dense values are mutable; methods
+// that return a new matrix say so explicitly, all others modify in place.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewDense returns a zeroed r x c matrix.
+func NewDense(r, c int) *Dense {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: negative dimension %dx%d", r, c))
+	}
+	return &Dense{rows: r, cols: c, data: make([]float64, r*c)}
+}
+
+// NewDenseData wraps data (row-major, length r*c) in a Dense without copying.
+func NewDenseData(r, c int, data []float64) *Dense {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("mat: data length %d does not match %dx%d", len(data), r, c))
+	}
+	return &Dense{rows: r, cols: c, data: data}
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// Dims returns (rows, cols).
+func (m *Dense) Dims() (int, int) { return m.rows, m.cols }
+
+// At returns the element at row i, column j.
+func (m *Dense) At(i, j int) float64 { return m.data[i*m.cols+j] }
+
+// Set assigns v to the element at row i, column j.
+func (m *Dense) Set(i, j int, v float64) { m.data[i*m.cols+j] = v }
+
+// Add adds v to the element at row i, column j.
+func (m *Dense) Add(i, j int, v float64) { m.data[i*m.cols+j] += v }
+
+// Row returns the i-th row as a slice aliasing the matrix storage.
+func (m *Dense) Row(i int) []float64 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Data returns the underlying row-major storage (aliased, not copied).
+func (m *Dense) Data() []float64 { return m.data }
+
+// Clone returns a deep copy of m.
+func (m *Dense) Clone() *Dense {
+	d := make([]float64, len(m.data))
+	copy(d, m.data)
+	return &Dense{rows: m.rows, cols: m.cols, data: d}
+}
+
+// Zero sets every element to zero.
+func (m *Dense) Zero() {
+	for i := range m.data {
+		m.data[i] = 0
+	}
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Dense {
+	m := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Col copies column j into dst (allocating when dst is nil) and returns it.
+func (m *Dense) Col(j int, dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		dst[i] = m.data[i*m.cols+j]
+	}
+	return dst
+}
+
+// SetCol assigns v to column j.
+func (m *Dense) SetCol(j int, v []float64) {
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+j] = v[i]
+	}
+}
+
+// ColView is a lightweight accessor for a matrix column.
+type ColView struct {
+	m *Dense
+	j int
+}
+
+// ColAt returns a view of column j.
+func (m *Dense) ColAt(j int) ColView { return ColView{m: m, j: j} }
+
+// Len returns the number of entries in the column.
+func (v ColView) Len() int { return v.m.rows }
+
+// At returns the i-th entry of the column.
+func (v ColView) At(i int) float64 { return v.m.data[i*v.m.cols+v.j] }
+
+// T returns a newly allocated transpose of m.
+func (m *Dense) T() *Dense {
+	t := NewDense(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.data[j*t.cols+i] = v
+		}
+	}
+	return t
+}
+
+// SliceCols returns a new matrix containing columns [j0, j1) of m.
+func (m *Dense) SliceCols(j0, j1 int) *Dense {
+	if j0 < 0 || j1 > m.cols || j0 > j1 {
+		panic(fmt.Sprintf("mat: column slice [%d,%d) out of range for %d cols", j0, j1, m.cols))
+	}
+	s := NewDense(m.rows, j1-j0)
+	for i := 0; i < m.rows; i++ {
+		copy(s.Row(i), m.Row(i)[j0:j1])
+	}
+	return s
+}
+
+// SelectCols returns a new matrix whose columns are m's columns at idx,
+// in order.
+func (m *Dense) SelectCols(idx []int) *Dense {
+	s := NewDense(m.rows, len(idx))
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		srow := s.Row(i)
+		for k, j := range idx {
+			srow[k] = row[j]
+		}
+	}
+	return s
+}
+
+// HStack returns the horizontal concatenation [a b ...] of matrices with
+// equal row counts.
+func HStack(ms ...*Dense) *Dense {
+	if len(ms) == 0 {
+		return NewDense(0, 0)
+	}
+	r := ms[0].rows
+	c := 0
+	for _, m := range ms {
+		if m.rows != r {
+			panic(fmt.Sprintf("mat: HStack row mismatch %d vs %d", m.rows, r))
+		}
+		c += m.cols
+	}
+	out := NewDense(r, c)
+	for i := 0; i < r; i++ {
+		dst := out.Row(i)
+		off := 0
+		for _, m := range ms {
+			copy(dst[off:off+m.cols], m.Row(i))
+			off += m.cols
+		}
+	}
+	return out
+}
+
+// Scale multiplies every element by a.
+func (m *Dense) Scale(a float64) {
+	for i := range m.data {
+		m.data[i] *= a
+	}
+}
+
+// AddScaled adds a*b to m element-wise. Panics on dimension mismatch.
+func (m *Dense) AddScaled(a float64, b *Dense) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic("mat: AddScaled dimension mismatch")
+	}
+	for i, v := range b.data {
+		m.data[i] += a * v
+	}
+}
+
+// Symmetrize overwrites m with (m + mᵀ)/2. Panics unless m is square.
+func (m *Dense) Symmetrize() {
+	if m.rows != m.cols {
+		panic("mat: Symmetrize requires a square matrix")
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i + 1; j < m.cols; j++ {
+			v := (m.At(i, j) + m.At(j, i)) / 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty matrices).
+func (m *Dense) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns the Frobenius norm of m.
+func (m *Dense) FrobeniusNorm() float64 {
+	s := 0.0
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Equalish reports whether a and b have the same shape and all elements
+// within tol of each other.
+func Equalish(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i, v := range a.data {
+		if math.Abs(v-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging (small matrices only).
+func (m *Dense) String() string {
+	s := fmt.Sprintf("Dense %dx%d\n", m.rows, m.cols)
+	for i := 0; i < m.rows && i < 12; i++ {
+		for j := 0; j < m.cols && j < 12; j++ {
+			s += fmt.Sprintf("% .4f ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

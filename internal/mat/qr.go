@@ -1,0 +1,144 @@
+package mat
+
+import "math"
+
+// QR holds the thin QR factorization a = Q*R of an m x n matrix with
+// m >= n: Q is m x n with orthonormal columns and R is n x n upper
+// triangular.
+type QR struct {
+	Q *Dense
+	R *Dense
+}
+
+// QRFactor computes the thin QR factorization of a (m >= n) by
+// Householder reflections. a is not modified.
+func QRFactor(a *Dense) QR {
+	m, n := a.Dims()
+	if m < n {
+		panic("mat: QRFactor requires rows >= cols")
+	}
+	// Work on a copy; v-vectors are stored below the diagonal and the
+	// scalar factors in tau.
+	w := a.Clone()
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Compute the Householder vector for column k.
+		alpha := 0.0
+		for i := k; i < m; i++ {
+			v := w.At(i, k)
+			alpha += v * v
+		}
+		alpha = math.Sqrt(alpha)
+		if alpha == 0 {
+			tau[k] = 0
+			continue
+		}
+		if w.At(k, k) > 0 {
+			alpha = -alpha
+		}
+		// v = x - alpha*e1, normalized so v[k] = 1.
+		vkk := w.At(k, k) - alpha
+		for i := k + 1; i < m; i++ {
+			w.Set(i, k, w.At(i, k)/vkk)
+		}
+		tau[k] = -vkk / alpha
+		w.Set(k, k, alpha)
+		// Apply the reflector to the trailing columns.
+		for j := k + 1; j < n; j++ {
+			s := w.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += w.At(i, k) * w.At(i, j)
+			}
+			s *= tau[k]
+			w.Set(k, j, w.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				w.Set(i, j, w.At(i, j)-s*w.At(i, k))
+			}
+		}
+	}
+	// Extract R.
+	r := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			r.Set(i, j, w.At(i, j))
+		}
+	}
+	// Accumulate Q by applying the reflectors to the identity (thin).
+	q := NewDense(m, n)
+	for j := 0; j < n; j++ {
+		q.Set(j, j, 1)
+	}
+	for k := n - 1; k >= 0; k-- {
+		if tau[k] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			s := q.At(k, j)
+			for i := k + 1; i < m; i++ {
+				s += w.At(i, k) * q.At(i, j)
+			}
+			s *= tau[k]
+			q.Set(k, j, q.At(k, j)-s)
+			for i := k + 1; i < m; i++ {
+				q.Set(i, j, q.At(i, j)-s*w.At(i, k))
+			}
+		}
+	}
+	return QR{Q: q, R: r}
+}
+
+// Orthonormalize returns a matrix with orthonormal columns spanning the
+// column space of a, discarding numerically dependent columns. The rank
+// detected at relative tolerance tol (e.g. 1e-10) determines the output
+// width.
+func Orthonormalize(a *Dense, tol float64) *Dense {
+	qr := QRFactor(a)
+	n := a.Cols()
+	maxDiag := 0.0
+	for i := 0; i < n; i++ {
+		if d := math.Abs(qr.R.At(i, i)); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		return NewDense(a.Rows(), 0)
+	}
+	keep := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if math.Abs(qr.R.At(i, i)) > tol*maxDiag {
+			keep = append(keep, i)
+		}
+	}
+	return qr.Q.SelectCols(keep)
+}
+
+// SolveUpperTriangular solves R*x = b for upper-triangular R by back
+// substitution. Panics if R has a zero diagonal entry.
+func SolveUpperTriangular(r *Dense, b []float64) []float64 {
+	n := r.Rows()
+	if r.Cols() != n || len(b) != n {
+		panic("mat: SolveUpperTriangular dimension mismatch")
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		row := r.Row(i)
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		d := row[i]
+		if d == 0 {
+			panic("mat: SolveUpperTriangular singular matrix")
+		}
+		x[i] = s / d
+	}
+	return x
+}
+
+// LeastSquares returns the minimizer of ||a*x - b||₂ via thin QR.
+// a must have at least as many rows as columns and full column rank.
+func LeastSquares(a *Dense, b []float64) []float64 {
+	qr := QRFactor(a)
+	qtb := MulTVec(qr.Q, b)
+	return SolveUpperTriangular(qr.R, qtb)
+}

@@ -1,0 +1,47 @@
+package mat
+
+import "math/rand"
+
+// RandomGaussian returns an r x c matrix of iid standard normal entries
+// drawn from rng.
+func RandomGaussian(r, c int, rng *rand.Rand) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// RandomOrthonormal returns an n x d matrix with orthonormal columns
+// drawn from the Haar (rotation-invariant) distribution, obtained as the
+// Q factor of a Gaussian matrix. Requires d <= n.
+func RandomOrthonormal(n, d int, rng *rand.Rand) *Dense {
+	if d > n {
+		panic("mat: RandomOrthonormal requires d <= n")
+	}
+	g := RandomGaussian(n, d, rng)
+	qr := QRFactor(g)
+	// Fix signs so the distribution is exactly Haar: make diag(R) > 0.
+	for j := 0; j < d; j++ {
+		if qr.R.At(j, j) < 0 {
+			for i := 0; i < n; i++ {
+				qr.Q.Set(i, j, -qr.Q.At(i, j))
+			}
+		}
+	}
+	return qr.Q
+}
+
+// RandomUnitVector returns a vector drawn uniformly from the unit sphere
+// in R^n.
+func RandomUnitVector(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for {
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		if Normalize(v) > 0 {
+			return v
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package mat
+
+import "math"
+
+// SVD holds a thin singular value decomposition a = U * diag(S) * Vᵀ.
+// S is sorted descending; U is m x r and V is n x r where r = min(m, n).
+type SVD struct {
+	U *Dense
+	S []float64
+	V *Dense
+}
+
+// SVDFactor computes the thin SVD of a by the one-sided Jacobi method,
+// which orthogonalizes the columns of a working copy with plane
+// rotations. It is simple, numerically robust and accurate for the
+// moderate sizes that arise in subspace clustering. a is not modified.
+func SVDFactor(a *Dense) SVD {
+	m, n := a.Dims()
+	if m < n {
+		// Jacobi works on columns; run on the transpose and swap factors.
+		s := SVDFactor(a.T())
+		return SVD{U: s.V, S: s.S, V: s.U}
+	}
+	u := a.Clone()
+	v := Identity(n)
+	const maxSweeps = 60
+	eps := 1e-14
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Column inner products.
+				var alpha, beta, gamma float64
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					alpha += up * up
+					beta += uq * uq
+					gamma += up * uq
+				}
+				if alpha == 0 || beta == 0 {
+					continue
+				}
+				if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
+					continue
+				}
+				off += math.Abs(gamma)
+				// Jacobi rotation zeroing the (p,q) Gram entry.
+				zeta := (beta - alpha) / (2.0 * gamma)
+				var t float64
+				if zeta > 0 {
+					t = 1.0 / (zeta + math.Sqrt(1.0+zeta*zeta))
+				} else {
+					t = -1.0 / (-zeta + math.Sqrt(1.0+zeta*zeta))
+				}
+				c := 1.0 / math.Sqrt(1.0+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					up := u.At(i, p)
+					uq := u.At(i, q)
+					u.Set(i, p, c*up-s*uq)
+					u.Set(i, q, s*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp := v.At(i, p)
+					vq := v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	// Singular values are the column norms of the rotated matrix.
+	sv := make([]float64, n)
+	for j := 0; j < n; j++ {
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += u.At(i, j) * u.At(i, j)
+		}
+		sv[j] = math.Sqrt(s)
+	}
+	// Sort descending, permuting U and V accordingly, and normalize U.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ { // simple selection sort: n is small
+		best := i
+		for j := i + 1; j < n; j++ {
+			if sv[order[j]] > sv[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	s := make([]float64, n)
+	for k, j := range order {
+		s[k] = sv[j]
+	}
+	uo := u.SelectCols(order)
+	vo := v.SelectCols(order)
+	for j := 0; j < n; j++ {
+		if s[j] > 0 {
+			inv := 1 / s[j]
+			for i := 0; i < m; i++ {
+				uo.Set(i, j, uo.At(i, j)*inv)
+			}
+		}
+	}
+	return SVD{U: uo, S: s, V: vo}
+}
+
+// TruncatedSVD returns the k leading left singular vectors and singular
+// values of a. For tall matrices with few columns it uses the Jacobi SVD
+// directly; for wide matrices it goes through the smaller Gram matrix,
+// matching the paper's use of truncated SVD for per-cluster basis
+// estimation (footnote 3).
+func TruncatedSVD(a *Dense, k int) (u *Dense, s []float64) {
+	m, n := a.Dims()
+	r := m
+	if n < r {
+		r = n
+	}
+	if k > r {
+		k = r
+	}
+	if k == 0 {
+		return NewDense(m, 0), nil
+	}
+	if n <= m {
+		// Eigendecomposition of the n x n Gram matrix: a = U S Vᵀ with
+		// aᵀa = V S² Vᵀ, U = a V S⁻¹.
+		g := Gram(a)
+		eig := SymEigen(g)
+		idx := make([]int, 0, k)
+		vals := make([]float64, 0, k)
+		for i := n - 1; i >= 0 && len(idx) < k; i-- { // largest first
+			idx = append(idx, i)
+			ev := eig.Values[i]
+			if ev < 0 {
+				ev = 0
+			}
+			vals = append(vals, math.Sqrt(ev))
+		}
+		v := eig.Vectors.SelectCols(idx)
+		u := Mul(a, v)
+		for j := 0; j < len(idx); j++ {
+			col := make([]float64, m)
+			u.Col(j, col)
+			Normalize(col)
+			u.SetCol(j, col)
+		}
+		return u, vals
+	}
+	svd := SVDFactor(a)
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	return svd.U.SelectCols(idx), svd.S[:k]
+}
+
+// NumericalRank returns the number of singular values of a exceeding
+// tol * max singular value.
+func NumericalRank(a *Dense, tol float64) int {
+	if a.Rows() == 0 || a.Cols() == 0 {
+		return 0
+	}
+	svd := SVDFactor(a)
+	if len(svd.S) == 0 || svd.S[0] == 0 {
+		return 0
+	}
+	rank := 0
+	for _, s := range svd.S {
+		if s > tol*svd.S[0] {
+			rank++
+		}
+	}
+	return rank
+}

@@ -1,0 +1,131 @@
+package mat
+
+import "math"
+
+// Dot returns the inner product of x and y. Panics on length mismatch.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mat: Dot length mismatch")
+	}
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the ℓ1 norm of x.
+func Norm1(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NormInf returns the ℓ∞ norm of x.
+func NormInf(x []float64) float64 {
+	m := 0.0
+	for _, v := range x {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Normalize scales x in place to unit Euclidean norm and returns the
+// original norm. Zero vectors are left untouched.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / n
+	for i := range x {
+		x[i] *= inv
+	}
+	return n
+}
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mat: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// ScaleVec multiplies x in place by a.
+func ScaleVec(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Sub computes dst = x - y, allocating dst when nil, and returns it.
+func Sub(x, y, dst []float64) []float64 {
+	if len(x) != len(y) {
+		panic("mat: Sub length mismatch")
+	}
+	if dst == nil {
+		dst = make([]float64, len(x))
+	}
+	for i := range x {
+		dst[i] = x[i] - y[i]
+	}
+	return dst
+}
+
+// NormalizeColumns scales each column of m to unit Euclidean norm in place.
+// Zero columns are left untouched.
+func NormalizeColumns(m *Dense) {
+	r, c := m.Dims()
+	norms := make([]float64, c)
+	for i := 0; i < r; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			norms[j] += v * v
+		}
+	}
+	for j := range norms {
+		if norms[j] > 0 {
+			norms[j] = 1 / math.Sqrt(norms[j])
+		}
+	}
+	for i := 0; i < r; i++ {
+		row := m.Row(i)
+		for j := range row {
+			if norms[j] != 0 {
+				row[j] *= norms[j]
+			}
+		}
+	}
+}
+
+// ColNorms returns the Euclidean norm of each column of m.
+func ColNorms(m *Dense) []float64 {
+	r, c := m.Dims()
+	norms := make([]float64, c)
+	for i := 0; i < r; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			norms[j] += v * v
+		}
+	}
+	for j := range norms {
+		norms[j] = math.Sqrt(norms[j])
+	}
+	return norms
+}

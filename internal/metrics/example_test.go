@@ -1,0 +1,37 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"fedsc/internal/metrics"
+)
+
+// ExampleAccuracy shows that accuracy is computed under the best label
+// alignment (Eq. 10): the prediction uses different label values but the
+// same partition, so accuracy is perfect.
+func ExampleAccuracy() {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	pred := []int{7, 7, 3, 3, 5, 5}
+	fmt.Printf("%.0f%%\n", metrics.Accuracy(truth, pred))
+	// Output: 100%
+}
+
+// ExampleNMI contrasts a perfect and an uninformative clustering.
+func ExampleNMI() {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	fmt.Printf("self: %.0f, alternating: %.0f\n",
+		metrics.NMI(truth, truth),
+		metrics.NMI(truth, []int{0, 1, 0, 1, 0, 1}))
+	// Output: self: 100, alternating: 0
+}
+
+// ExampleHungarian solves a tiny assignment problem.
+func ExampleHungarian() {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	fmt.Println(metrics.Hungarian(cost))
+	// Output: [1 0 2]
+}

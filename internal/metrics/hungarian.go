@@ -1,0 +1,83 @@
+// Package metrics implements the evaluation metrics of Section VI:
+// clustering accuracy (best label alignment over permutations, solved by
+// the Hungarian algorithm), normalized mutual information, the graph
+// connectivity measure CONN, and the SEP / exact-clustering criteria of
+// Section III-A.
+package metrics
+
+import "math"
+
+// Hungarian solves the square assignment problem: given cost[i][j], it
+// returns the column assigned to each row minimizing total cost, using
+// the O(n³) shortest-augmenting-path (Jonker-Volgenant style) algorithm.
+func Hungarian(cost [][]float64) []int {
+	n := len(cost)
+	if n == 0 {
+		return nil
+	}
+	for _, row := range cost {
+		if len(row) != n {
+			panic("metrics: Hungarian requires a square cost matrix")
+		}
+	}
+	const inf = math.MaxFloat64
+	// Potentials and matching, 1-indexed internally per the classic
+	// formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1)   // p[j] = row matched to column j
+	way := make([]int, n+1) // way[j] = previous column on the path
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	assign := make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			assign[p[j]-1] = j - 1
+		}
+	}
+	return assign
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+
+	"fedsc/internal/sparse"
+	"fedsc/internal/spectral"
+)
+
+// Accuracy computes the clustering accuracy of Eq. (10): the percentage
+// of points whose predicted label matches the ground truth under the best
+// one-to-one alignment of cluster labels, found with the Hungarian
+// algorithm. Label values may be arbitrary non-negative integers.
+func Accuracy(truth, pred []int) float64 {
+	if len(truth) != len(pred) {
+		panic("metrics: Accuracy length mismatch")
+	}
+	if len(truth) == 0 {
+		return 0
+	}
+	tIdx, tn := relabel(truth)
+	pIdx, pn := relabel(pred)
+	k := tn
+	if pn > k {
+		k = pn
+	}
+	// Confusion counts: conf[t][p].
+	conf := make([][]float64, k)
+	for i := range conf {
+		conf[i] = make([]float64, k)
+	}
+	for i := range truth {
+		conf[tIdx[i]][pIdx[i]]++
+	}
+	// Maximize matches = minimize negated counts.
+	cost := make([][]float64, k)
+	for i := range cost {
+		cost[i] = make([]float64, k)
+		for j := range cost[i] {
+			cost[i][j] = -conf[i][j]
+		}
+	}
+	assign := Hungarian(cost)
+	matched := 0.0
+	for t, p := range assign {
+		matched += conf[t][p]
+	}
+	return 100 * matched / float64(len(truth))
+}
+
+// relabel maps arbitrary label values to [0, k) and returns the dense
+// labels and k.
+func relabel(labels []int) ([]int, int) {
+	m := map[int]int{}
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		id, ok := m[l]
+		if !ok {
+			id = len(m)
+			m[l] = id
+		}
+		out[i] = id
+	}
+	return out, len(m)
+}
+
+// NMI computes the normalized mutual information of Eq. (11) as a
+// percentage: 100·2·MI(T;P) / (H(T)+H(P)). It returns 100 when both
+// clusterings are identical single-cluster labelings (zero entropies).
+func NMI(truth, pred []int) float64 {
+	if len(truth) != len(pred) {
+		panic("metrics: NMI length mismatch")
+	}
+	n := float64(len(truth))
+	if n == 0 {
+		return 0
+	}
+	tIdx, tn := relabel(truth)
+	pIdx, pn := relabel(pred)
+	joint := make([][]float64, tn)
+	for i := range joint {
+		joint[i] = make([]float64, pn)
+	}
+	tc := make([]float64, tn)
+	pc := make([]float64, pn)
+	for i := range truth {
+		joint[tIdx[i]][pIdx[i]]++
+		tc[tIdx[i]]++
+		pc[pIdx[i]]++
+	}
+	ht, hp, mi := 0.0, 0.0, 0.0
+	for _, c := range tc {
+		if c > 0 {
+			p := c / n
+			ht -= p * math.Log(p)
+		}
+	}
+	for _, c := range pc {
+		if c > 0 {
+			p := c / n
+			hp -= p * math.Log(p)
+		}
+	}
+	for i := range joint {
+		for j := range joint[i] {
+			if joint[i][j] > 0 {
+				pij := joint[i][j] / n
+				mi += pij * math.Log(pij*n*n/(tc[i]*pc[j]))
+			}
+		}
+	}
+	if ht+hp == 0 {
+		return 100
+	}
+	return 100 * 2 * mi / (ht + hp)
+}
+
+// Connectivity computes the CONN metric of Section VI: for each
+// ground-truth cluster ℓ, λ_ℓ⁽²⁾ is the second-smallest eigenvalue of the
+// normalized Laplacian of the affinity subgraph restricted to that
+// cluster (zero iff the cluster is internally disconnected). It returns
+// the minimum c = min_ℓ λ_ℓ⁽²⁾ and the average c̄.
+func Connectivity(w *sparse.CSR, truth []int, rng *rand.Rand) (min, avg float64) {
+	byCluster := map[int][]int{}
+	for i, l := range truth {
+		byCluster[l] = append(byCluster[l], i)
+	}
+	min = math.Inf(1)
+	sum, count := 0.0, 0
+	for _, idx := range byCluster {
+		var l2 float64
+		if len(idx) >= 2 {
+			sub := w.Submatrix(idx)
+			if vals, _ := spectral.LaplacianEigs(sub, 2, rng); len(vals) >= 2 {
+				l2 = vals[1]
+			}
+		}
+		if l2 < min {
+			min = l2
+		}
+		sum += l2
+		count++
+	}
+	if count == 0 {
+		return 0, 0
+	}
+	return min, sum / float64(count)
+}
+
+// SEPHolds reports whether the affinity graph has no false connections:
+// every edge joins two points with the same ground-truth label (the
+// self-expressiveness property of Section III-A).
+func SEPHolds(w *sparse.CSR, truth []int) bool {
+	n, _ := w.Dims()
+	for i := 0; i < n; i++ {
+		ok := true
+		w.Row(i, func(j int, v float64) {
+			if v != 0 && truth[i] != truth[j] {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactClustering reports whether the affinity graph satisfies the
+// paper's exact-clustering criterion: SEP holds AND each ground-truth
+// cluster forms a single connected component.
+func ExactClustering(w *sparse.CSR, truth []int) bool {
+	if !SEPHolds(w, truth) {
+		return false
+	}
+	comp, _ := w.ConnectedComponents()
+	// Within one truth cluster all points must share a component.
+	first := map[int]int{}
+	for i, l := range truth {
+		if c, ok := first[l]; ok {
+			if comp[i] != c {
+				return false
+			}
+		} else {
+			first[l] = comp[i]
+		}
+	}
+	return true
+}

@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedsc/internal/sparse"
+)
+
+func TestHungarianIdentity(t *testing.T) {
+	cost := [][]float64{{0, 1}, {1, 0}}
+	a := Hungarian(cost)
+	if a[0] != 0 || a[1] != 1 {
+		t.Fatalf("assignment = %v", a)
+	}
+}
+
+func TestHungarianSwap(t *testing.T) {
+	cost := [][]float64{{5, 1}, {1, 5}}
+	a := Hungarian(cost)
+	if a[0] != 1 || a[1] != 0 {
+		t.Fatalf("assignment = %v", a)
+	}
+}
+
+func TestHungarianKnownOptimum(t *testing.T) {
+	// Classic example: optimal total is 5 (0->1:2, 1->0:3 is 5... verify
+	// by brute force below instead of a hand-computed constant).
+	cost := [][]float64{
+		{4, 2, 8},
+		{4, 3, 7},
+		{3, 1, 6},
+	}
+	a := Hungarian(cost)
+	total := 0.0
+	for i, j := range a {
+		total += cost[i][j]
+	}
+	best := bruteForceAssignment(cost)
+	if math.Abs(total-best) > 1e-12 {
+		t.Fatalf("Hungarian total %v, brute force %v", total, best)
+	}
+}
+
+func bruteForceAssignment(cost [][]float64) float64 {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			s := 0.0
+			for i, j := range perm {
+				s += cost[i][j]
+			}
+			if s < best {
+				best = s
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = r.Float64() * 10
+			}
+		}
+		a := Hungarian(cost)
+		// Valid permutation.
+		seen := make([]bool, n)
+		total := 0.0
+		for i, j := range a {
+			if j < 0 || j >= n || seen[j] {
+				return false
+			}
+			seen[j] = true
+			total += cost[i][j]
+		}
+		return math.Abs(total-bruteForceAssignment(cost)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccuracyPerfectUnderPermutation(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	pred := []int{5, 5, 3, 3, 9, 9} // same partition, different labels
+	if acc := Accuracy(truth, pred); math.Abs(acc-100) > 1e-12 {
+		t.Fatalf("Accuracy = %v want 100", acc)
+	}
+}
+
+func TestAccuracyPartial(t *testing.T) {
+	truth := []int{0, 0, 0, 1, 1, 1}
+	pred := []int{0, 0, 1, 1, 1, 1} // one point of cluster 0 mislabeled
+	if acc := Accuracy(truth, pred); math.Abs(acc-100*5.0/6.0) > 1e-9 {
+		t.Fatalf("Accuracy = %v want %v", acc, 100*5.0/6.0)
+	}
+}
+
+func TestAccuracyDifferentClusterCounts(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	pred := []int{0, 1, 2, 3} // over-segmented
+	acc := Accuracy(truth, pred)
+	if math.Abs(acc-50) > 1e-9 {
+		t.Fatalf("Accuracy = %v want 50", acc)
+	}
+}
+
+func TestNMIBounds(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2}
+	if nmi := NMI(truth, truth); math.Abs(nmi-100) > 1e-9 {
+		t.Fatalf("NMI(self) = %v", nmi)
+	}
+	indep := []int{0, 1, 0, 1, 0, 1}
+	if nmi := NMI(truth, indep); nmi > 1e-9 {
+		t.Fatalf("NMI(independent) = %v want 0", nmi)
+	}
+}
+
+func TestNMIInvariantToRelabeling(t *testing.T) {
+	truth := []int{0, 0, 1, 1, 2, 2, 2}
+	pred := []int{1, 1, 0, 2, 2, 2, 2}
+	relabeled := []int{10, 10, 40, 7, 7, 7, 7}
+	if math.Abs(NMI(truth, pred)-NMI(truth, relabeled)) > 1e-12 {
+		t.Fatal("NMI should be invariant to label renaming")
+	}
+}
+
+func TestNMISymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(30)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(4)
+			b[i] = r.Intn(3)
+		}
+		return math.Abs(NMI(a, b)-NMI(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	// Cluster 0 = {0,1,2} fully connected; cluster 1 = {3,4} connected;
+	// no cross edges.
+	w := sparse.NewCSR(5, 5, []sparse.Coord{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 1, Col: 2, Val: 1}, {Row: 2, Col: 1, Val: 1},
+		{Row: 0, Col: 2, Val: 1}, {Row: 2, Col: 0, Val: 1},
+		{Row: 3, Col: 4, Val: 1}, {Row: 4, Col: 3, Val: 1},
+	})
+	truth := []int{0, 0, 0, 1, 1}
+	min, avg := Connectivity(w, truth, rng)
+	if min <= 0 {
+		t.Fatalf("connected clusters should have positive λ2, min=%v", min)
+	}
+	if avg < min {
+		t.Fatalf("avg %v < min %v", avg, min)
+	}
+}
+
+func TestConnectivityDisconnectedCluster(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	// Cluster 0 = {0,1,2,3} split into two pairs -> λ2 = 0.
+	w := sparse.NewCSR(4, 4, []sparse.Coord{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+	})
+	truth := []int{0, 0, 0, 0}
+	min, _ := Connectivity(w, truth, rng)
+	if math.Abs(min) > 1e-8 {
+		t.Fatalf("disconnected cluster should give λ2≈0, got %v", min)
+	}
+}
+
+func TestSEPAndExactClustering(t *testing.T) {
+	truth := []int{0, 0, 1, 1}
+	// Clean graph: edges only within clusters, clusters connected.
+	clean := sparse.NewCSR(4, 4, []sparse.Coord{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+	})
+	if !SEPHolds(clean, truth) || !ExactClustering(clean, truth) {
+		t.Fatal("clean graph should satisfy SEP and exact clustering")
+	}
+	// False connection across clusters breaks SEP.
+	bad := sparse.NewCSR(4, 4, []sparse.Coord{
+		{Row: 0, Col: 1, Val: 1}, {Row: 1, Col: 0, Val: 1},
+		{Row: 1, Col: 2, Val: 1}, {Row: 2, Col: 1, Val: 1},
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+	})
+	if SEPHolds(bad, truth) {
+		t.Fatal("cross-cluster edge should violate SEP")
+	}
+	// SEP holds but cluster 0 is split (over-segmentation): not exact.
+	split := sparse.NewCSR(4, 4, []sparse.Coord{
+		{Row: 2, Col: 3, Val: 1}, {Row: 3, Col: 2, Val: 1},
+	})
+	truth2 := []int{0, 0, 1, 1}
+	if !SEPHolds(split, truth2) {
+		t.Fatal("no cross edges: SEP should hold")
+	}
+	if ExactClustering(split, truth2) {
+		t.Fatal("split cluster should fail exact clustering")
+	}
+}
+
+func TestAccuracyEmptyAndMismatch(t *testing.T) {
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}

@@ -1,0 +1,69 @@
+// Package pca implements principal component analysis by truncated SVD
+// of the centered data. It backs the k-FED + PCA-10 / PCA-100 baselines
+// of Tables III-IV, where each device projects its local high-dimensional
+// data before federated k-means.
+package pca
+
+import "fedsc/internal/mat"
+
+// Model is a fitted PCA projection.
+type Model struct {
+	// Mean is the column mean of the training data.
+	Mean []float64
+	// Components has one principal direction per column (n x k).
+	Components *mat.Dense
+}
+
+// Fit computes the top-k principal components of x, whose COLUMNS are the
+// data points. k is clamped to min(n, N).
+func Fit(x *mat.Dense, k int) Model {
+	n, cols := x.Dims()
+	mean := make([]float64, n)
+	if cols > 0 {
+		for i := 0; i < n; i++ {
+			row := x.Row(i)
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			mean[i] = s / float64(cols)
+		}
+	}
+	centered := x.Clone()
+	for i := 0; i < n; i++ {
+		row := centered.Row(i)
+		for j := range row {
+			row[j] -= mean[i]
+		}
+	}
+	if k > n {
+		k = n
+	}
+	if k > cols {
+		k = cols
+	}
+	u, _ := mat.TruncatedSVD(centered, k)
+	return Model{Mean: mean, Components: u}
+}
+
+// Transform projects the columns of x into the k-dimensional principal
+// subspace, returning a k x N matrix.
+func (m Model) Transform(x *mat.Dense) *mat.Dense {
+	n, cols := x.Dims()
+	if n != len(m.Mean) {
+		panic("pca: Transform dimension mismatch")
+	}
+	centered := x.Clone()
+	for i := 0; i < n; i++ {
+		row := centered.Row(i)
+		for j := 0; j < cols; j++ {
+			row[j] -= m.Mean[i]
+		}
+	}
+	return mat.MulTA(m.Components, centered)
+}
+
+// FitTransform fits on x and returns its projection.
+func FitTransform(x *mat.Dense, k int) *mat.Dense {
+	return Fit(x, k).Transform(x)
+}

@@ -1,0 +1,100 @@
+package pca
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedsc/internal/mat"
+)
+
+func TestFitRecoversDominantDirection(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	// Points spread along e1 with tiny noise elsewhere.
+	n, cols := 6, 200
+	x := mat.NewDense(n, cols)
+	for j := 0; j < cols; j++ {
+		x.Set(0, j, 10*rng.NormFloat64())
+		for i := 1; i < n; i++ {
+			x.Set(i, j, 0.01*rng.NormFloat64())
+		}
+	}
+	m := Fit(x, 1)
+	dir := m.Components.Col(0, nil)
+	if math.Abs(math.Abs(dir[0])-1) > 0.01 {
+		t.Fatalf("first PC should align with e1, got %v", dir)
+	}
+}
+
+func TestTransformDimensions(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	x := mat.RandomGaussian(20, 30, rng)
+	y := FitTransform(x, 5)
+	if r, c := y.Dims(); r != 5 || c != 30 {
+		t.Fatalf("projected dims %dx%d want 5x30", r, c)
+	}
+}
+
+func TestTransformCentersData(t *testing.T) {
+	rng := rand.New(rand.NewSource(122))
+	x := mat.RandomGaussian(8, 50, rng)
+	// Shift all points by a constant; projections must be shift-invariant.
+	shifted := x.Clone()
+	for i := 0; i < 8; i++ {
+		row := shifted.Row(i)
+		for j := range row {
+			row[j] += 5
+		}
+	}
+	m := Fit(x, 3)
+	m2 := Fit(shifted, 3)
+	// Projected variance along each component should match.
+	p1 := m.Transform(x)
+	p2 := m2.Transform(shifted)
+	for c := 0; c < 3; c++ {
+		v1, v2 := rowVar(p1, c), rowVar(p2, c)
+		if math.Abs(v1-v2) > 1e-6*(1+v1) {
+			t.Fatalf("component %d variance changed under shift: %v vs %v", c, v1, v2)
+		}
+	}
+}
+
+func rowVar(m *mat.Dense, i int) float64 {
+	row := m.Row(i)
+	mean := 0.0
+	for _, v := range row {
+		mean += v
+	}
+	mean /= float64(len(row))
+	s := 0.0
+	for _, v := range row {
+		d := v - mean
+		s += d * d
+	}
+	return s / float64(len(row))
+}
+
+func TestFitClampsK(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	x := mat.RandomGaussian(4, 3, rng)
+	m := Fit(x, 100)
+	if m.Components.Cols() > 3 {
+		t.Fatalf("k should clamp to min(n,N)=3, got %d", m.Components.Cols())
+	}
+}
+
+func TestPreservedVarianceOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(124))
+	// Anisotropic data: variance 9, 4, 1 along first three axes.
+	x := mat.NewDense(5, 300)
+	for j := 0; j < 300; j++ {
+		x.Set(0, j, 3*rng.NormFloat64())
+		x.Set(1, j, 2*rng.NormFloat64())
+		x.Set(2, j, 1*rng.NormFloat64())
+	}
+	p := FitTransform(x, 3)
+	v0, v1, v2 := rowVar(p, 0), rowVar(p, 1), rowVar(p, 2)
+	if !(v0 > v1 && v1 > v2) {
+		t.Fatalf("projected variances not ordered: %v %v %v", v0, v1, v2)
+	}
+}

@@ -1,0 +1,216 @@
+// Package plot renders experiment results as terminal graphics: line
+// charts for the "metric vs Z" figures and shaded heatmaps for the
+// L'/L-ratio and noise sweeps. Pure text output — the benchmark harness
+// uses it to literally draw Figs. 4-7 next to their tables.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// markers distinguish overlapping series on the character grid.
+var markers = []byte{'o', '*', '+', 'x', '#', '@', '%', '&'}
+
+// Line renders a line chart of the series against shared x labels.
+// width and height are the plot-area size in characters (sensible
+// defaults are applied when <= 0).
+func Line(title string, xLabels []string, series []Series, width, height int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 16
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	n := 0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	if n == 0 || math.IsInf(lo, 1) {
+		return title + "\n(no data)\n"
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	pad := (hi - lo) * 0.05
+	lo, hi = lo-pad, hi+pad
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	xAt := func(i int) int {
+		if n == 1 {
+			return 0
+		}
+		return i * (width - 1) / (n - 1)
+	}
+	yAt := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - f)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		prevX, prevY := -1, -1
+		for i, v := range s.Values {
+			x, y := xAt(i), yAt(v)
+			if prevX >= 0 {
+				drawSegment(grid, prevX, prevY, x, y, '.')
+			}
+			grid[y][x] = m
+			prevX, prevY = x, y
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r := 0; r < height; r++ {
+		var label string
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.1f", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.1f", lo)
+		case (height - 1) / 2:
+			label = fmt.Sprintf("%8.1f", (hi+lo)/2)
+		default:
+			label = strings.Repeat(" ", 8)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width))
+	// X labels: first, middle, last.
+	xl := strings.Repeat(" ", 10)
+	if len(xLabels) > 0 {
+		row := []byte(strings.Repeat(" ", width+10))
+		place := func(pos int, s string) {
+			for k := 0; k < len(s) && pos+k < len(row); k++ {
+				row[pos+k] = s[k]
+			}
+		}
+		place(10, xLabels[0])
+		if len(xLabels) > 2 {
+			mid := xLabels[len(xLabels)/2]
+			place(10+xAt(len(xLabels)/2)-len(mid)/2, mid)
+		}
+		if len(xLabels) > 1 {
+			last := xLabels[len(xLabels)-1]
+			place(10+width-len(last), last)
+		}
+		xl = string(row)
+	}
+	b.WriteString(xl + "\n")
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "   %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+// drawSegment draws a straight character segment between two grid points,
+// leaving endpoint cells for the series markers.
+func drawSegment(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	steps := abs(x1-x0) + abs(y1-y0)
+	if steps == 0 {
+		return
+	}
+	for s := 1; s < steps; s++ {
+		x := x0 + (x1-x0)*s/steps
+		y := y0 + (y1-y0)*s/steps
+		if grid[y][x] == ' ' {
+			grid[y][x] = ch
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// shades runs from low to high intensity.
+const shades = " .:-=+*#%@"
+
+// Heatmap renders values[r][c] as shaded cells (two characters per cell),
+// normalized over the whole map, with row and column labels and a scale
+// legend.
+func Heatmap(title string, rowLabels, colLabels []string, values [][]float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return title + "\n(no data)\n"
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	labelW := 0
+	for _, l := range rowLabels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	// Column header.
+	fmt.Fprintf(&b, "%s ", strings.Repeat(" ", labelW))
+	for _, cl := range colLabels {
+		fmt.Fprintf(&b, "%-6s", cl)
+	}
+	b.WriteByte('\n')
+	for r, row := range values {
+		label := ""
+		if r < len(rowLabels) {
+			label = rowLabels[r]
+		}
+		fmt.Fprintf(&b, "%*s ", labelW, label)
+		for _, v := range row {
+			idx := int((v - lo) / span * float64(len(shades)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			cell := strings.Repeat(string(shades[idx]), 4)
+			fmt.Fprintf(&b, "%-6s", cell)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "scale: %.1f %s %.1f\n", lo, shades, hi)
+	return b.String()
+}

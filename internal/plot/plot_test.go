@@ -1,0 +1,78 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	out := Line("acc vs Z", []string{"100", "200", "400"}, []Series{
+		{Name: "Fed-SC", Values: []float64{80, 90, 100}},
+		{Name: "k-FED", Values: []float64{20, 15, 10}},
+	}, 40, 10)
+	if !strings.Contains(out, "acc vs Z") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "Fed-SC") || !strings.Contains(out, "k-FED") {
+		t.Fatal("missing legend entries")
+	}
+	if !strings.Contains(out, "o") || !strings.Contains(out, "*") {
+		t.Fatal("missing series markers")
+	}
+	if !strings.Contains(out, "100") {
+		t.Fatal("missing axis labels")
+	}
+	// The rising series' first marker should be lower on the canvas than
+	// its last: find rows containing 'o'.
+	lines := strings.Split(out, "\n")
+	firstRow, lastRow := -1, -1
+	for i, l := range lines {
+		if idx := strings.IndexByte(l, 'o'); idx >= 0 {
+			if firstRow < 0 {
+				firstRow = i
+			}
+			lastRow = i
+		}
+	}
+	if !(firstRow < lastRow) {
+		t.Fatalf("rising series should span rows: first=%d last=%d", firstRow, lastRow)
+	}
+}
+
+func TestLineEmptyAndConstant(t *testing.T) {
+	if out := Line("t", nil, nil, 0, 0); !strings.Contains(out, "no data") {
+		t.Fatal("empty chart should say no data")
+	}
+	out := Line("t", []string{"a"}, []Series{{Name: "s", Values: []float64{5}}}, 20, 5)
+	if !strings.Contains(out, "o") {
+		t.Fatal("single constant point should still render")
+	}
+}
+
+func TestHeatmapShading(t *testing.T) {
+	out := Heatmap("heat", []string{"r1", "r2"}, []string{"c1", "c2"},
+		[][]float64{{0, 50}, {50, 100}})
+	if !strings.Contains(out, "heat") || !strings.Contains(out, "r2") || !strings.Contains(out, "c2") {
+		t.Fatal("missing labels")
+	}
+	// Lowest cell shades as spaces, highest as '@'.
+	if !strings.Contains(out, "@@@@") {
+		t.Fatal("max cell should use the densest shade")
+	}
+	if !strings.Contains(out, "scale: 0.0") {
+		t.Fatal("missing scale legend")
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	if out := Heatmap("t", nil, nil, nil); !strings.Contains(out, "no data") {
+		t.Fatal("empty heatmap should say no data")
+	}
+}
+
+func TestHeatmapUniform(t *testing.T) {
+	out := Heatmap("u", []string{"r"}, []string{"c"}, [][]float64{{7}})
+	if !strings.Contains(out, "u") {
+		t.Fatal("uniform heatmap should render without dividing by zero")
+	}
+}

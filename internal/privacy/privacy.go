@@ -1,0 +1,96 @@
+// Package privacy implements the privacy-preserving upload mechanisms
+// Remark 2 of the paper sketches and its conclusion names as future work:
+// (ε, δ)-differentially-private release of the per-cluster samples via
+// the Gaussian mechanism, and uniform quantization of uploads (the
+// paper's communication model assumes q-bit quantized floats — here the
+// quantizer is actually applied, so its accuracy cost can be measured).
+//
+// The DP threat model: the released quantity per local cluster is one
+// unit-norm vector θ ∈ Rⁿ. Changing any single underlying data point can
+// change θ by at most ‖θ − θ'‖₂ ≤ 2 (both lie on the unit sphere), so
+// the ℓ2 sensitivity is bounded by 2 and the classical Gaussian
+// mechanism applies. Tighter per-dataset sensitivities can be plugged in
+// via Params.Sensitivity.
+package privacy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedsc/internal/mat"
+)
+
+// Params configures the Gaussian mechanism.
+type Params struct {
+	// Epsilon is the privacy budget ε per released sample (must be > 0).
+	Epsilon float64
+	// Delta is the failure probability δ (must be in (0, 1)).
+	Delta float64
+	// Sensitivity is the ℓ2 sensitivity of one released sample; zero
+	// defaults to 2, the diameter of the unit sphere.
+	Sensitivity float64
+}
+
+// Validate reports whether the parameters define a usable mechanism.
+func (p Params) Validate() error {
+	if p.Epsilon <= 0 {
+		return fmt.Errorf("privacy: epsilon must be positive, got %v", p.Epsilon)
+	}
+	if p.Delta <= 0 || p.Delta >= 1 {
+		return fmt.Errorf("privacy: delta must be in (0,1), got %v", p.Delta)
+	}
+	if p.Sensitivity < 0 {
+		return fmt.Errorf("privacy: negative sensitivity %v", p.Sensitivity)
+	}
+	return nil
+}
+
+// NoiseStd returns the per-coordinate standard deviation of the Gaussian
+// mechanism: σ = Δ₂·√(2·ln(1.25/δ))/ε (Dwork & Roth, Thm. A.1). The
+// classical bound needs ε ≤ 1; for larger ε it remains a valid (more
+// conservative than necessary) mechanism.
+func (p Params) NoiseStd() float64 {
+	sens := p.Sensitivity
+	if sens == 0 {
+		sens = 2
+	}
+	return sens * math.Sqrt(2*math.Log(1.25/p.Delta)) / p.Epsilon
+}
+
+// GaussianMechanism perturbs every column of samples in place with iid
+// Gaussian noise calibrated to (ε, δ)-DP per sample and returns the
+// noise std used. Columns are NOT renormalized: the release is the noisy
+// vector itself (renormalizing would leak information about the noise
+// realization and breaks the mechanism's guarantee).
+func GaussianMechanism(samples *mat.Dense, p Params, rng *rand.Rand) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	std := p.NoiseStd()
+	data := samples.Data()
+	for i := range data {
+		data[i] += std * rng.NormFloat64()
+	}
+	return std, nil
+}
+
+// Compose returns the (ε, δ) guarantee after k releases under basic
+// (sequential) composition: (k·ε, k·δ). Each Fed-SC device releases
+// r⁽ᶻ⁾ samples, so its per-round budget is Compose(params, r).
+func Compose(p Params, k int) Params {
+	return Params{
+		Epsilon:     p.Epsilon * float64(k),
+		Delta:       p.Delta * float64(k),
+		Sensitivity: p.Sensitivity,
+	}
+}
+
+// AdvancedCompose returns the ε' of the advanced composition theorem for
+// k releases at (ε, δ) each, with slack deltaPrime:
+// ε' = ε·√(2k·ln(1/δ')) + k·ε·(eᵉ − 1). Tighter than basic composition
+// for many small releases.
+func AdvancedCompose(p Params, k int, deltaPrime float64) float64 {
+	return p.Epsilon*math.Sqrt(2*float64(k)*math.Log(1/deltaPrime)) +
+		float64(k)*p.Epsilon*(math.Exp(p.Epsilon)-1)
+}

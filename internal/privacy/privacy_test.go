@@ -1,0 +1,171 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedsc/internal/mat"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{Epsilon: 1, Delta: 1e-5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	for _, bad := range []Params{
+		{Epsilon: 0, Delta: 1e-5},
+		{Epsilon: -1, Delta: 1e-5},
+		{Epsilon: 1, Delta: 0},
+		{Epsilon: 1, Delta: 1},
+		{Epsilon: 1, Delta: 1e-5, Sensitivity: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("invalid params accepted: %+v", bad)
+		}
+	}
+}
+
+func TestNoiseStdScaling(t *testing.T) {
+	base := Params{Epsilon: 1, Delta: 1e-5}
+	double := Params{Epsilon: 2, Delta: 1e-5}
+	if !(double.NoiseStd() < base.NoiseStd()) {
+		t.Fatal("larger ε must need less noise")
+	}
+	// Explicit value check: σ = 2·√(2 ln(1.25/δ))/ε.
+	want := 2 * math.Sqrt(2*math.Log(1.25e5))
+	if math.Abs(base.NoiseStd()-want) > 1e-12 {
+		t.Fatalf("NoiseStd = %v want %v", base.NoiseStd(), want)
+	}
+	sens := Params{Epsilon: 1, Delta: 1e-5, Sensitivity: 1}
+	if math.Abs(sens.NoiseStd()*2-base.NoiseStd()) > 1e-12 {
+		t.Fatal("NoiseStd must be linear in sensitivity")
+	}
+}
+
+func TestGaussianMechanismPerturbs(t *testing.T) {
+	rng := rand.New(rand.NewSource(220))
+	samples := mat.NewDense(4, 3)
+	std, err := GaussianMechanism(samples, Params{Epsilon: 1, Delta: 1e-4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if std <= 0 {
+		t.Fatal("std should be positive")
+	}
+	nonzero := 0
+	for _, v := range samples.Data() {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero != len(samples.Data()) {
+		t.Fatal("all entries should be perturbed almost surely")
+	}
+}
+
+func TestGaussianMechanismRejectsBadParams(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	if _, err := GaussianMechanism(mat.NewDense(2, 2), Params{}, rng); err == nil {
+		t.Fatal("zero params should be rejected")
+	}
+}
+
+func TestGaussianMechanismEmpiricalStd(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	samples := mat.NewDense(200, 200)
+	p := Params{Epsilon: 2, Delta: 1e-5}
+	std, err := GaussianMechanism(samples, p, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, n := 0.0, 0
+	for _, v := range samples.Data() {
+		sum += v * v
+		n++
+	}
+	got := math.Sqrt(sum / float64(n))
+	if math.Abs(got-std) > 0.05*std {
+		t.Fatalf("empirical std %v far from nominal %v", got, std)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	p := Params{Epsilon: 0.5, Delta: 1e-6}
+	c := Compose(p, 4)
+	if c.Epsilon != 2 || c.Delta != 4e-6 {
+		t.Fatalf("Compose = %+v", c)
+	}
+}
+
+func TestAdvancedComposeBeatsBasicForManyReleases(t *testing.T) {
+	p := Params{Epsilon: 0.1, Delta: 1e-7}
+	k := 100
+	basic := Compose(p, k).Epsilon
+	adv := AdvancedCompose(p, k, 1e-6)
+	if adv >= basic {
+		t.Fatalf("advanced composition %v should beat basic %v for k=%d", adv, basic, k)
+	}
+}
+
+func TestQuantizerRoundtripBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bits := 2 + r.Intn(14)
+		q := Quantizer{Bits: bits}
+		// Max roundtrip error of a midrise quantizer is half a cell.
+		cell := 2.0 / float64(int(1)<<bits)
+		for trial := 0; trial < 50; trial++ {
+			v := 2*r.Float64() - 1
+			if math.Abs(q.Roundtrip(v)-v) > cell/2+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizerClipsOutOfRange(t *testing.T) {
+	q := Quantizer{Bits: 8}
+	if v := q.Roundtrip(5.0); v > 1 {
+		t.Fatalf("clipped value %v should stay within range", v)
+	}
+	if v := q.Roundtrip(-5.0); v < -1 {
+		t.Fatalf("clipped value %v should stay within range", v)
+	}
+}
+
+func TestQuantizerMonotone(t *testing.T) {
+	q := Quantizer{Bits: 6}
+	prev := math.Inf(-1)
+	for v := -1.0; v <= 1.0; v += 0.01 {
+		rv := q.Roundtrip(v)
+		if rv < prev-1e-12 {
+			t.Fatalf("quantizer not monotone at %v", v)
+		}
+		prev = rv
+	}
+}
+
+func TestQuantizerApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(224))
+	m := mat.RandomGaussian(10, 10, rng)
+	m.Scale(0.3) // keep in range
+	q := Quantizer{Bits: 12}
+	maxErr, err := q.Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := 2.0 / float64(1<<12)
+	if maxErr > cell/2+1e-12 {
+		t.Fatalf("max error %v exceeds half cell %v", maxErr, cell/2)
+	}
+	if _, err := (Quantizer{Bits: 0}).Apply(m); err == nil {
+		t.Fatal("invalid quantizer accepted")
+	}
+}

@@ -1,0 +1,223 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedsc/internal/mat"
+)
+
+func TestNewCSRBasics(t *testing.T) {
+	m := NewCSR(3, 3, []Coord{
+		{0, 1, 2}, {1, 0, 2}, {2, 2, 5}, {0, 1, 3}, // duplicate (0,1) sums
+		{1, 1, 0}, // explicit zero dropped
+	})
+	if m.NNZ() != 3 {
+		t.Fatalf("NNZ = %d want 3", m.NNZ())
+	}
+	if m.At(0, 1) != 5 {
+		t.Fatalf("At(0,1) = %v want 5 (summed)", m.At(0, 1))
+	}
+	if m.At(1, 1) != 0 {
+		t.Fatal("explicit zero should not be stored")
+	}
+	if m.At(2, 0) != 0 {
+		t.Fatal("missing entry should read as 0")
+	}
+	r, c := m.Dims()
+	if r != 3 || c != 3 {
+		t.Fatalf("Dims = %d,%d", r, c)
+	}
+}
+
+func TestCSRPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range entry")
+		}
+	}()
+	NewCSR(2, 2, []Coord{{2, 0, 1}})
+}
+
+func TestMulVec(t *testing.T) {
+	// [[1,2],[0,3]] * [1,1] = [3,3]
+	m := NewCSR(2, 2, []Coord{{0, 0, 1}, {0, 1, 2}, {1, 1, 3}})
+	y := m.MulVec([]float64{1, 1}, nil)
+	if y[0] != 3 || y[1] != 3 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		dense := mat.NewDense(n, n)
+		var entries []Coord
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if r.Float64() < 0.25 {
+					v := r.NormFloat64()
+					dense.Set(i, j, v)
+					entries = append(entries, Coord{i, j, v})
+				}
+			}
+		}
+		s := NewCSR(n, n, entries)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		got := s.MulVec(x, nil)
+		want := mat.MulVec(dense, x)
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowSumsAndDiagScale(t *testing.T) {
+	m := NewCSR(2, 2, []Coord{{0, 0, 1}, {0, 1, 2}, {1, 0, 3}})
+	d := m.RowSums()
+	if d[0] != 3 || d[1] != 3 {
+		t.Fatalf("RowSums = %v", d)
+	}
+	s := m.DiagScale([]float64{2, 1}, []float64{1, 10})
+	if s.At(0, 0) != 2 || s.At(0, 1) != 40 || s.At(1, 0) != 3 {
+		t.Fatalf("DiagScale wrong: %v %v %v", s.At(0, 0), s.At(0, 1), s.At(1, 0))
+	}
+	// Original untouched.
+	if m.At(0, 1) != 2 {
+		t.Fatal("DiagScale mutated the source")
+	}
+	sc := m.Scale(2)
+	if sc.At(1, 0) != 6 || m.At(1, 0) != 3 {
+		t.Fatal("Scale wrong or mutated source")
+	}
+}
+
+func TestRowIteration(t *testing.T) {
+	m := NewCSR(2, 3, []Coord{{0, 2, 5}, {0, 0, 1}})
+	var cols []int
+	var vals []float64
+	m.Row(0, func(j int, v float64) {
+		cols = append(cols, j)
+		vals = append(vals, v)
+	})
+	if len(cols) != 2 || cols[0] != 0 || cols[1] != 2 || vals[1] != 5 {
+		t.Fatalf("Row iteration wrong: %v %v", cols, vals)
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	m := NewCSR(3, 3, []Coord{{0, 0, 1}, {0, 2, 2}, {2, 0, 3}, {1, 1, 4}})
+	s := m.Submatrix([]int{0, 2})
+	if s.At(0, 0) != 1 || s.At(0, 1) != 2 || s.At(1, 0) != 3 || s.At(1, 1) != 0 {
+		t.Fatal("Submatrix wrong")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	// Two components: {0,1,2} (via 0-1, 1-2) and {3}.
+	m := NewCSR(4, 4, []Coord{{0, 1, 1}, {1, 2, 1}})
+	label, n := m.ConnectedComponents()
+	if n != 2 {
+		t.Fatalf("components = %d want 2", n)
+	}
+	if label[0] != label[1] || label[1] != label[2] {
+		t.Fatalf("labels %v: 0,1,2 should share a component", label)
+	}
+	if label[3] == label[0] {
+		t.Fatalf("labels %v: 3 should be separate", label)
+	}
+}
+
+func TestConnectedComponentsDirectedEdgesTreatedUndirected(t *testing.T) {
+	// Only a one-way stored edge 2->0; still one component {0,2}.
+	m := NewCSR(3, 3, []Coord{{2, 0, 1}})
+	label, n := m.ConnectedComponents()
+	if n != 2 || label[0] != label[2] || label[1] == label[0] {
+		t.Fatalf("labels=%v n=%d", label, n)
+	}
+}
+
+func TestLanczosMatchesDenseEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 40
+	g := mat.RandomGaussian(n, n, rng)
+	a := mat.MulTA(g, g) // symmetric PSD
+	matvec := func(x, y []float64) {
+		res := mat.MulVec(a, x)
+		copy(y, res)
+	}
+	vals, vecs := Lanczos(n, 3, n, matvec, rng)
+	dense := mat.SymEigen(a)
+	for i := 0; i < 3; i++ {
+		want := dense.Values[n-1-i]
+		if math.Abs(vals[i]-want) > 1e-6*(1+want) {
+			t.Fatalf("Lanczos value %d = %v want %v", i, vals[i], want)
+		}
+		// Residual ||A v - λ v|| small.
+		v := vecs.Col(i, nil)
+		av := mat.MulVec(a, v)
+		for j := range av {
+			av[j] -= vals[i] * v[j]
+		}
+		if r := mat.Norm2(av); r > 1e-6*(1+vals[i]) {
+			t.Fatalf("Lanczos residual %d = %g", i, r)
+		}
+	}
+}
+
+func TestLanczosSmallK(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	// 2x2 diagonal operator.
+	matvec := func(x, y []float64) {
+		y[0] = 5 * x[0]
+		y[1] = 1 * x[1]
+	}
+	vals, vecs := Lanczos(2, 1, 2, matvec, rng)
+	if math.Abs(vals[0]-5) > 1e-10 {
+		t.Fatalf("top eigenvalue = %v want 5", vals[0])
+	}
+	if math.Abs(math.Abs(vecs.At(0, 0))-1) > 1e-8 {
+		t.Fatalf("top eigenvector = %v want ±e1", vecs.Col(0, nil))
+	}
+}
+
+func TestLanczosRestartsOnInvariantSubspace(t *testing.T) {
+	// The identity operator makes every start vector an eigenvector, so
+	// the first residual is exactly zero; the restart logic must still
+	// deliver k eigenpairs (all equal to 1).
+	rng := rand.New(rand.NewSource(34))
+	matvec := func(x, y []float64) { copy(y, x) }
+	vals, vecs := Lanczos(10, 3, 10, matvec, rng)
+	if len(vals) != 3 {
+		t.Fatalf("got %d eigenvalues, want 3", len(vals))
+	}
+	for i, v := range vals {
+		if math.Abs(v-1) > 1e-10 {
+			t.Fatalf("eigenvalue %d = %v want 1", i, v)
+		}
+	}
+	if vecs.Cols() != 3 {
+		t.Fatalf("got %d eigenvectors", vecs.Cols())
+	}
+}
+
+func TestLanczosZeroK(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	vals, vecs := Lanczos(5, 0, 5, func(x, y []float64) { copy(y, x) }, rng)
+	if len(vals) != 0 || vecs.Cols() != 0 {
+		t.Fatal("k=0 should return empty results")
+	}
+}

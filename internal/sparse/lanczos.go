@@ -1,0 +1,127 @@
+package sparse
+
+import (
+	"math/rand"
+
+	"fedsc/internal/mat"
+)
+
+// Lanczos computes approximations to the k largest eigenpairs of the
+// symmetric operator given by matvec (dimension n) using the Lanczos
+// iteration with full reorthogonalization. It returns eigenvalues sorted
+// descending with the corresponding Ritz vectors as columns.
+//
+// steps bounds the Krylov dimension; a value of k+32 (clamped to n) is a
+// reasonable default for graph Laplacians with well-separated extreme
+// eigenvalues. rng seeds the starting vector.
+func Lanczos(n, k, steps int, matvec func(x, y []float64), rng *rand.Rand) ([]float64, *mat.Dense) {
+	if k > n {
+		k = n
+	}
+	if steps < k {
+		steps = k
+	}
+	if steps > n {
+		steps = n
+	}
+	if k == 0 || n == 0 {
+		return nil, mat.NewDense(n, 0)
+	}
+	// Krylov basis, one row per Lanczos vector for contiguous access.
+	q := mat.NewDense(steps, n)
+	alpha := make([]float64, steps)
+	beta := make([]float64, steps) // beta[i] links vector i and i+1
+	v := mat.RandomUnitVector(n, rng)
+	copy(q.Row(0), v)
+	w := make([]float64, n)
+	m := steps
+	for j := 0; j < steps; j++ {
+		matvec(q.Row(j), w)
+		alpha[j] = mat.Dot(q.Row(j), w)
+		// w -= alpha_j q_j + beta_{j-1} q_{j-1}
+		mat.Axpy(-alpha[j], q.Row(j), w)
+		if j > 0 {
+			mat.Axpy(-beta[j-1], q.Row(j-1), w)
+		}
+		// Full reorthogonalization for numerical stability.
+		for i := 0; i <= j; i++ {
+			c := mat.Dot(q.Row(i), w)
+			if c != 0 {
+				mat.Axpy(-c, q.Row(i), w)
+			}
+		}
+		if j == steps-1 {
+			break
+		}
+		b := mat.Norm2(w)
+		if b < 1e-13 {
+			// Invariant subspace found. Restart with a fresh random
+			// vector orthogonal to the basis so the iteration can reach
+			// eigenpairs outside the current Krylov space (common for
+			// highly structured graphs); beta = 0 correctly decouples
+			// the tridiagonal blocks.
+			restarted := false
+			for attempt := 0; attempt < 5; attempt++ {
+				copy(w, mat.RandomUnitVector(n, rng))
+				for i := 0; i <= j; i++ {
+					c := mat.Dot(q.Row(i), w)
+					if c != 0 {
+						mat.Axpy(-c, q.Row(i), w)
+					}
+				}
+				if mat.Norm2(w) > 1e-8 {
+					restarted = true
+					break
+				}
+			}
+			if !restarted {
+				m = j + 1
+				break
+			}
+			mat.Normalize(w)
+			b = 0
+		}
+		beta[j] = b
+		var inv float64
+		if b > 0 {
+			inv = 1 / b
+		} else {
+			inv = 1 // w is already unit-norm after a restart
+		}
+		dst := q.Row(j + 1)
+		for i := range w {
+			dst[i] = w[i] * inv
+		}
+	}
+	// Eigendecomposition of the m x m tridiagonal matrix.
+	t := mat.NewDense(m, m)
+	for i := 0; i < m; i++ {
+		t.Set(i, i, alpha[i])
+		if i+1 < m {
+			t.Set(i, i+1, beta[i])
+			t.Set(i+1, i, beta[i])
+		}
+	}
+	eig := mat.SymEigen(t)
+	if k > m {
+		k = m
+	}
+	// Take the k largest Ritz values (SymEigen sorts ascending).
+	vals := make([]float64, k)
+	vecs := mat.NewDense(n, k)
+	for c := 0; c < k; c++ {
+		src := m - 1 - c
+		vals[c] = eig.Values[src]
+		// Ritz vector: sum_i T-eigvec[i] * q_i.
+		dst := make([]float64, n)
+		for i := 0; i < m; i++ {
+			w := eig.Vectors.At(i, src)
+			if w != 0 {
+				mat.Axpy(w, q.Row(i), dst)
+			}
+		}
+		mat.Normalize(dst)
+		vecs.SetCol(c, dst)
+	}
+	return vals, vecs
+}

@@ -1,0 +1,34 @@
+package subspace_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsc/internal/metrics"
+	"fedsc/internal/subspace"
+	"fedsc/internal/synth"
+)
+
+// ExampleSSC clusters points drawn from two random planes in R^20.
+func ExampleSSC() {
+	rng := rand.New(rand.NewSource(1))
+	planes := synth.RandomSubspaces(20, 2, 2, rng)
+	ds := planes.Sample(25, rng)
+	res := subspace.SSC(ds.X, 2, rng, subspace.SSCOptions{})
+	fmt.Printf("accuracy %.0f%%\n", metrics.Accuracy(ds.Labels, res.Labels))
+	// Output: accuracy 100%
+}
+
+// ExampleCluster dispatches by method name, as the CLI does.
+func ExampleCluster() {
+	rng := rand.New(rand.NewSource(2))
+	planes := synth.RandomSubspaces(18, 2, 2, rng)
+	ds := planes.Sample(20, rng)
+	for _, m := range []subspace.Method{subspace.MethodEnSC, subspace.MethodNSN} {
+		res := subspace.Cluster(m, ds.X, 2, rng)
+		fmt.Printf("%s: %.0f%%\n", m, metrics.Accuracy(ds.Labels, res.Labels))
+	}
+	// Output:
+	// ensc: 100%
+	// nsn: 100%
+}

@@ -1,0 +1,125 @@
+package subspace
+
+import (
+	"math/rand"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/sparse"
+)
+
+// NSNOptions configures nearest-subspace-neighbor clustering.
+type NSNOptions struct {
+	// MaxDim bounds the dimension of the greedily grown subspace
+	// (default 9, an upper bound for the experiments' subspace dims).
+	MaxDim int
+	// Neighbors is the number of neighbors collected per point
+	// (default 2·MaxDim).
+	Neighbors int
+}
+
+func (o NSNOptions) withDefaults() NSNOptions {
+	if o.MaxDim <= 0 {
+		o.MaxDim = 9
+	}
+	if o.Neighbors <= 0 {
+		o.Neighbors = 2 * o.MaxDim
+	}
+	return o
+}
+
+// NSN is greedy nearest-subspace-neighbor clustering (Park, Caramanis &
+// Sanghavi 2014). For every point it greedily grows a subspace: starting
+// from the point itself, it repeatedly admits the point with the largest
+// projection onto the current subspace and, while below MaxDim, extends
+// the subspace with the admitted point's orthogonal component. Points
+// sharing neighborhoods are connected in the affinity graph, which is
+// then segmented spectrally.
+//
+// The projection energies ‖Bᵀxⱼ‖² are maintained incrementally: when the
+// basis grows by one direction p, every candidate's energy increases by
+// (pᵀxⱼ)², so one neighbor step costs O(N·n) instead of O(N·n·dim).
+func NSN(x *mat.Dense, k int, rng *rand.Rand, opts NSNOptions) Result {
+	opts = opts.withDefaults()
+	xn := normalized(x)
+	n, cols := xn.Dims()
+	neighbors := opts.Neighbors
+	if neighbors > cols-1 {
+		neighbors = cols - 1
+	}
+	var entries []sparse.Coord
+	energy := make([]float64, cols) // ‖Bᵀxⱼ‖² for the current point's basis
+	dir := make([]float64, n)       // newest basis direction
+	basis := mat.NewDense(n, opts.MaxDim)
+	proj := make([]float64, opts.MaxDim)
+	selected := make([]bool, cols)
+	for i := 0; i < cols; i++ {
+		for j := range selected {
+			selected[j] = false
+		}
+		selected[i] = true
+		// Seed the subspace with the point itself.
+		xn.Col(i, dir)
+		basis.SetCol(0, dir)
+		dim := 1
+		// energy[j] = (x_iᵀ x_j)².
+		addDirectionEnergy(xn, dir, energy, true)
+		for picked := 0; picked < neighbors; picked++ {
+			best, bestE := -1, -1.0
+			for j := 0; j < cols; j++ {
+				if selected[j] {
+					continue
+				}
+				if energy[j] > bestE {
+					best, bestE = j, energy[j]
+				}
+			}
+			if best < 0 {
+				break
+			}
+			selected[best] = true
+			entries = append(entries,
+				sparse.Coord{Row: i, Col: best, Val: 1},
+				sparse.Coord{Row: best, Col: i, Val: 1})
+			if dim < opts.MaxDim {
+				// Orthogonal component of the admitted point extends the
+				// basis; candidates' energies gain its contribution.
+				xn.Col(best, dir)
+				for d := 0; d < dim; d++ {
+					p := basis.ColAt(d)
+					s := 0.0
+					for r := 0; r < n; r++ {
+						s += p.At(r) * dir[r]
+					}
+					proj[d] = s
+				}
+				for d := 0; d < dim; d++ {
+					p := basis.ColAt(d)
+					for r := 0; r < n; r++ {
+						dir[r] -= proj[d] * p.At(r)
+					}
+				}
+				if mat.Normalize(dir) > 1e-8 {
+					basis.SetCol(dim, dir)
+					dim++
+					addDirectionEnergy(xn, dir, energy, false)
+				}
+			}
+		}
+	}
+	w := sparse.NewCSR(cols, cols, entries)
+	return Result{Labels: spectralLabels(w, k, rng), Affinity: w}
+}
+
+// addDirectionEnergy adds (pᵀxⱼ)² to every candidate's energy (resetting
+// first when reset is true).
+func addDirectionEnergy(xn *mat.Dense, p []float64, energy []float64, reset bool) {
+	if reset {
+		for j := range energy {
+			energy[j] = 0
+		}
+	}
+	dots := mat.MulTVec(xn, p)
+	for j, s := range dots {
+		energy[j] += s * s
+	}
+}

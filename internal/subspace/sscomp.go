@@ -1,0 +1,53 @@
+package subspace
+
+import (
+	"math/rand"
+
+	"fedsc/internal/lasso"
+	"fedsc/internal/mat"
+)
+
+// OMPOptions configures SSC-OMP.
+type OMPOptions struct {
+	// KMax bounds the self-expression support per point (default 10,
+	// which upper-bounds the subspace dimensions in the experiments).
+	KMax int
+	// ResidualTol stops the pursuit early once the residual norm falls
+	// below it (default 1e-6).
+	ResidualTol float64
+	// DropTol discards small affinity entries (default 1e-8).
+	DropTol float64
+}
+
+func (o OMPOptions) withDefaults() OMPOptions {
+	if o.KMax <= 0 {
+		o.KMax = 10
+	}
+	if o.ResidualTol <= 0 {
+		o.ResidualTol = 1e-6
+	}
+	if o.DropTol <= 0 {
+		o.DropTol = 1e-8
+	}
+	return o
+}
+
+// SSCOMP is scalable sparse subspace clustering by orthogonal matching
+// pursuit (You, Robinson & Vidal 2016): each point is greedily expressed
+// over at most KMax other points, and the resulting sparse coefficient
+// matrix feeds the usual affinity + spectral pipeline.
+func SSCOMP(x *mat.Dense, k int, rng *rand.Rand, opts OMPOptions) Result {
+	opts = opts.withDefaults()
+	xn := normalized(x)
+	_, n := xn.Dims()
+	coef := make([][]float64, n)
+	mat.Parallel(n, n*n*32, func(lo, hi int) {
+		col := make([]float64, xn.Rows())
+		for i := lo; i < hi; i++ {
+			xn.Col(i, col)
+			coef[i] = lasso.OMP(xn, col, opts.KMax, opts.ResidualTol, []int{i})
+		}
+	})
+	w := affinityFromCoef(coef, opts.DropTol)
+	return Result{Labels: spectralLabels(w, k, rng), Affinity: w}
+}

@@ -1,0 +1,89 @@
+package subspace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/sparse"
+)
+
+// TSCOptions configures thresholding-based subspace clustering.
+type TSCOptions struct {
+	// Q is the number of nearest neighbors (in spherical distance) each
+	// point connects to. Zero applies the paper's centralized rule
+	// q = max(3, ⌈N/(100·k)⌉).
+	Q int
+}
+
+// TSCAffinity builds the TSC affinity graph (Heckel & Bölcskei 2015):
+// each point is connected to its q nearest neighbors under the spherical
+// distance, with edge weight exp(−2·arccos(|⟨xᵢ,xⱼ⟩|)), then the graph is
+// symmetrized by addition.
+func TSCAffinity(x *mat.Dense, q int) *sparse.CSR {
+	xn := normalized(x)
+	_, n := xn.Dims()
+	if q >= n {
+		q = n - 1
+	}
+	if q < 1 {
+		q = 1
+	}
+	g := mat.Gram(xn)
+	type edge struct {
+		j int
+		a float64 // |<xi,xj>|
+	}
+	var entries []sparse.Coord
+	cand := make([]edge, 0, n)
+	for i := 0; i < n; i++ {
+		cand = cand[:0]
+		row := g.Row(i)
+		for j, v := range row {
+			if j == i {
+				continue
+			}
+			cand = append(cand, edge{j: j, a: math.Abs(v)})
+		}
+		sort.Slice(cand, func(a, b int) bool { return cand[a].a > cand[b].a })
+		kq := q
+		if kq > len(cand) {
+			kq = len(cand)
+		}
+		for _, e := range cand[:kq] {
+			c := e.a
+			if c > 1 {
+				c = 1
+			}
+			w := math.Exp(-2 * math.Acos(c))
+			entries = append(entries, sparse.Coord{Row: i, Col: e.j, Val: w})
+			entries = append(entries, sparse.Coord{Row: e.j, Col: i, Val: w})
+		}
+	}
+	return sparse.NewCSR(n, n, entries)
+}
+
+// TSC is thresholding-based subspace clustering: q-nearest-neighbor
+// spherical affinity followed by normalized spectral clustering into k
+// groups.
+func TSC(x *mat.Dense, k int, rng *rand.Rand, opts TSCOptions) Result {
+	_, n := x.Dims()
+	q := opts.Q
+	if q <= 0 {
+		// Centralized default from the paper's implementation notes.
+		q = int(math.Ceil(float64(n) / (100 * float64(max(1, k)))))
+		if q < 3 {
+			q = 3
+		}
+	}
+	w := TSCAffinity(x, q)
+	return Result{Labels: spectralLabels(w, k, rng), Affinity: w}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Partition describes how a dataset's points are spread over Z devices.
+type Partition struct {
+	// DeviceOf maps each point index to its device in [0, Z).
+	DeviceOf []int
+	// Points[z] lists the point indices held by device z.
+	Points [][]int
+}
+
+// Z returns the number of devices.
+func (p Partition) Z() int { return len(p.Points) }
+
+// PartitionIID spreads points uniformly at random over z devices — the
+// "IID" setting of Fig. 4 where every device may see every cluster.
+func PartitionIID(n, z int, rng *rand.Rand) Partition {
+	p := Partition{DeviceOf: make([]int, n), Points: make([][]int, z)}
+	perm := rng.Perm(n)
+	for k, i := range perm {
+		dev := k % z
+		p.DeviceOf[i] = dev
+		p.Points[dev] = append(p.Points[dev], i)
+	}
+	for dev := range p.Points {
+		sortInts(p.Points[dev])
+	}
+	return p
+}
+
+// PartitionNonIID assigns each of z devices a random subset of lPrime
+// clusters and spreads each cluster's points uniformly over the devices
+// that hold it — the "Non-IID-L′" setting of Figs. 4–5 and Table IV.
+// Every cluster is guaranteed at least one device. labels are the
+// ground-truth cluster assignments and l the number of clusters.
+func PartitionNonIID(labels []int, l, z, lPrime int, rng *rand.Rand) Partition {
+	return PartitionNonIIDRange(labels, l, z, lPrime, lPrime, rng)
+}
+
+// PartitionNonIIDRange is PartitionNonIID with a per-device cluster count
+// drawn uniformly from [lpMin, lpMax] — the real-data setting of Table
+// III, where each device receives data from 2 ≤ L⁽ᶻ⁾ ≤ 4 clusters.
+func PartitionNonIIDRange(labels []int, l, z, lpMin, lpMax int, rng *rand.Rand) Partition {
+	if lpMax > l {
+		lpMax = l
+	}
+	if lpMin > lpMax {
+		lpMin = lpMax
+	}
+	if lpMin < 1 {
+		panic(fmt.Sprintf("synth: lpMin = %d must be positive", lpMin))
+	}
+	// Draw each device's cluster count, then assign clusters to device
+	// slots constructively so that every cluster is guaranteed a holder
+	// even when z·lpMax barely covers l (rejection sampling would spin).
+	capacity := make([]int, z)
+	totalSlots := 0
+	for dev := 0; dev < z; dev++ {
+		lp := lpMin
+		if lpMax > lpMin {
+			lp += rng.Intn(lpMax - lpMin + 1)
+		}
+		capacity[dev] = lp
+		totalSlots += lp
+	}
+	if z*lpMax < l {
+		panic(fmt.Sprintf("synth: z·lpMax = %d device slots cannot cover %d clusters; raise z or lpMax", z*lpMax, l))
+	}
+	// A random draw may undershoot l even when z·lpMax suffices; top up
+	// random devices (within lpMax) until every cluster can get a holder.
+	for totalSlots < l {
+		dev := rng.Intn(z)
+		if capacity[dev] < lpMax {
+			capacity[dev]++
+			totalSlots++
+		}
+	}
+	holders := make([][]int, l)
+	holds := make([]map[int]bool, z)
+	for dev := range holds {
+		holds[dev] = make(map[int]bool, capacity[dev])
+	}
+	// Phase A: deal every cluster one holder, round-robin over devices
+	// with remaining capacity (a device is dealt each cluster at most
+	// once, so no duplicates can occur).
+	devOrder := rng.Perm(z)
+	di := 0
+	for _, c := range rng.Perm(l) {
+		for len(holds[devOrder[di%z]]) >= capacity[devOrder[di%z]] {
+			di++
+		}
+		dev := devOrder[di%z]
+		holders[c] = append(holders[c], dev)
+		holds[dev][c] = true
+		di++
+	}
+	// Phase B: fill each device's remaining slots with distinct random
+	// clusters it does not hold yet.
+	for dev := 0; dev < z; dev++ {
+		if len(holds[dev]) >= capacity[dev] {
+			continue
+		}
+		for _, c := range rng.Perm(l) {
+			if len(holds[dev]) >= capacity[dev] {
+				break
+			}
+			if holds[dev][c] {
+				continue
+			}
+			holds[dev][c] = true
+			holders[c] = append(holders[c], dev)
+		}
+	}
+	p := Partition{DeviceOf: make([]int, len(labels)), Points: make([][]int, z)}
+	// Round-robin each cluster's points over its holder devices, in a
+	// random order so devices get balanced loads.
+	byCluster := make([][]int, l)
+	for i, lab := range labels {
+		byCluster[lab] = append(byCluster[lab], i)
+	}
+	for c, pts := range byCluster {
+		h := holders[c]
+		off := rng.Intn(len(h))
+		for k, i := range pts {
+			dev := h[(off+k)%len(h)]
+			p.DeviceOf[i] = dev
+			p.Points[dev] = append(p.Points[dev], i)
+		}
+	}
+	for dev := range p.Points {
+		sortInts(p.Points[dev])
+	}
+	return p
+}
+
+// ClustersPerDevice returns L⁽ᶻ⁾ for each device: the number of distinct
+// ground-truth clusters present in its local data.
+func (p Partition) ClustersPerDevice(labels []int) []int {
+	out := make([]int, p.Z())
+	for dev, pts := range p.Points {
+		seen := map[int]bool{}
+		for _, i := range pts {
+			seen[labels[i]] = true
+		}
+		out[dev] = len(seen)
+	}
+	return out
+}
+
+// DevicesPerCluster returns Z_ℓ for each cluster: the number of devices
+// holding at least one of its points.
+func (p Partition) DevicesPerCluster(labels []int, l int) []int {
+	seen := make([]map[int]bool, l)
+	for i := range seen {
+		seen[i] = map[int]bool{}
+	}
+	for i, lab := range labels {
+		seen[lab][p.DeviceOf[i]] = true
+	}
+	out := make([]int, l)
+	for i := range out {
+		out[i] = len(seen[i])
+	}
+	return out
+}
+
+func sortInts(a []int) { sort.Ints(a) }

@@ -1,0 +1,150 @@
+// Package synth generates the synthetic union-of-subspaces datasets and
+// federated data partitions used throughout the paper's evaluation
+// (Section VI-A): L random subspaces of dimension d in Rⁿ, unit-norm
+// points with iid Gaussian coefficients, the semi-random model, additive
+// noise, and the IID / Non-IID-L′ device partitioners.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsc/internal/mat"
+)
+
+// Subspaces is a set of L linear subspaces given by orthonormal bases.
+type Subspaces struct {
+	// Bases[ℓ] is an n x d_ℓ orthonormal basis of subspace ℓ.
+	Bases []*mat.Dense
+	// Ambient is the ambient dimension n.
+	Ambient int
+}
+
+// L returns the number of subspaces.
+func (s Subspaces) L() int { return len(s.Bases) }
+
+// Dim returns the dimension of subspace ℓ.
+func (s Subspaces) Dim(l int) int { return s.Bases[l].Cols() }
+
+// RandomSubspaces draws L iid random d-dimensional subspaces of Rⁿ with
+// Haar-distributed orthonormal bases, the model of Section VI-A
+// (n = 20, d = 5 in the paper's synthetic experiments).
+func RandomSubspaces(n, d, l int, rng *rand.Rand) Subspaces {
+	if d > n {
+		panic(fmt.Sprintf("synth: subspace dim %d exceeds ambient %d", d, n))
+	}
+	bases := make([]*mat.Dense, l)
+	for i := range bases {
+		bases[i] = mat.RandomOrthonormal(n, d, rng)
+	}
+	return Subspaces{Bases: bases, Ambient: n}
+}
+
+// Dataset is a labeled collection of points (columns of X).
+type Dataset struct {
+	// X is the n x N data matrix; columns are unit-norm points.
+	X *mat.Dense
+	// Labels holds the ground-truth subspace index of each column.
+	Labels []int
+}
+
+// N returns the number of points.
+func (d Dataset) N() int { return len(d.Labels) }
+
+// Sample draws perSubspace points from each subspace with iid Gaussian
+// coefficients, normalized to the unit sphere — the semi-random model of
+// Section V. Points are grouped by subspace in column order.
+func (s Subspaces) Sample(perSubspace int, rng *rand.Rand) Dataset {
+	total := perSubspace * s.L()
+	x := mat.NewDense(s.Ambient, total)
+	labels := make([]int, total)
+	col := 0
+	buf := make([]float64, s.Ambient)
+	for l, basis := range s.Bases {
+		d := basis.Cols()
+		for i := 0; i < perSubspace; i++ {
+			coef := make([]float64, d)
+			for j := range coef {
+				coef[j] = rng.NormFloat64()
+			}
+			for r := 0; r < s.Ambient; r++ {
+				v := 0.0
+				row := basis.Row(r)
+				for j, c := range coef {
+					v += row[j] * c
+				}
+				buf[r] = v
+			}
+			mat.Normalize(buf)
+			x.SetCol(col, buf)
+			labels[col] = l
+			col++
+		}
+	}
+	return Dataset{X: x, Labels: labels}
+}
+
+// SampleCounts draws counts[ℓ] points from subspace ℓ (semi-random
+// model), concatenated in subspace order.
+func (s Subspaces) SampleCounts(counts []int, rng *rand.Rand) Dataset {
+	if len(counts) != s.L() {
+		panic("synth: counts length must equal the number of subspaces")
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	x := mat.NewDense(s.Ambient, total)
+	labels := make([]int, total)
+	col := 0
+	buf := make([]float64, s.Ambient)
+	for l, basis := range s.Bases {
+		d := basis.Cols()
+		for i := 0; i < counts[l]; i++ {
+			coef := make([]float64, d)
+			for j := range coef {
+				coef[j] = rng.NormFloat64()
+			}
+			for r := 0; r < s.Ambient; r++ {
+				v := 0.0
+				row := basis.Row(r)
+				for j, c := range coef {
+					v += row[j] * c
+				}
+				buf[r] = v
+			}
+			mat.Normalize(buf)
+			x.SetCol(col, buf)
+			labels[col] = l
+			col++
+		}
+	}
+	return Dataset{X: x, Labels: labels}
+}
+
+// AddNoise perturbs every point with iid Gaussian noise of the given
+// standard deviation and renormalizes to the unit sphere, returning a new
+// dataset.
+func (d Dataset) AddNoise(sigma float64, rng *rand.Rand) Dataset {
+	x := d.X.Clone()
+	n, cols := x.Dims()
+	col := make([]float64, n)
+	for j := 0; j < cols; j++ {
+		x.Col(j, col)
+		for i := range col {
+			col[i] += sigma * rng.NormFloat64()
+		}
+		mat.Normalize(col)
+		x.SetCol(j, col)
+	}
+	return Dataset{X: x, Labels: append([]int(nil), d.Labels...)}
+}
+
+// Select returns the sub-dataset at the given column indices.
+func (d Dataset) Select(idx []int) Dataset {
+	labels := make([]int, len(idx))
+	for k, i := range idx {
+		labels[k] = d.Labels[i]
+	}
+	return Dataset{X: d.X.SelectCols(idx), Labels: labels}
+}

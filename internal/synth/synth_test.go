@@ -1,0 +1,250 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedsc/internal/mat"
+)
+
+func TestRandomSubspacesOrthonormal(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	s := RandomSubspaces(20, 5, 4, rng)
+	if s.L() != 4 || s.Ambient != 20 {
+		t.Fatalf("L=%d ambient=%d", s.L(), s.Ambient)
+	}
+	for l, b := range s.Bases {
+		if s.Dim(l) != 5 {
+			t.Fatalf("subspace %d dim %d", l, s.Dim(l))
+		}
+		g := mat.MulTA(b, b)
+		if !mat.Equalish(g, mat.Identity(5), 1e-10) {
+			t.Fatalf("basis %d not orthonormal", l)
+		}
+	}
+}
+
+func TestSamplePointsLieOnSubspaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	s := RandomSubspaces(15, 3, 3, rng)
+	ds := s.Sample(10, rng)
+	if ds.N() != 30 {
+		t.Fatalf("N=%d want 30", ds.N())
+	}
+	col := make([]float64, 15)
+	for j := 0; j < ds.N(); j++ {
+		ds.X.Col(j, col)
+		if math.Abs(mat.Norm2(col)-1) > 1e-10 {
+			t.Fatalf("point %d not unit norm", j)
+		}
+		// Projection onto its subspace reproduces the point.
+		b := s.Bases[ds.Labels[j]]
+		p := mat.MulVec(b, mat.MulTVec(b, col))
+		for i := range col {
+			if math.Abs(p[i]-col[i]) > 1e-10 {
+				t.Fatalf("point %d not on its subspace", j)
+			}
+		}
+	}
+}
+
+func TestSampleCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	s := RandomSubspaces(10, 2, 3, rng)
+	ds := s.SampleCounts([]int{4, 0, 7}, rng)
+	if ds.N() != 11 {
+		t.Fatalf("N=%d want 11", ds.N())
+	}
+	counts := map[int]int{}
+	for _, l := range ds.Labels {
+		counts[l]++
+	}
+	if counts[0] != 4 || counts[1] != 0 || counts[2] != 7 {
+		t.Fatalf("counts=%v", counts)
+	}
+}
+
+func TestAddNoiseKeepsUnitNormAndLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	s := RandomSubspaces(12, 3, 2, rng)
+	ds := s.Sample(5, rng)
+	noisy := ds.AddNoise(0.2, rng)
+	col := make([]float64, 12)
+	for j := 0; j < noisy.N(); j++ {
+		noisy.X.Col(j, col)
+		if math.Abs(mat.Norm2(col)-1) > 1e-10 {
+			t.Fatalf("noisy point %d not renormalized", j)
+		}
+		if noisy.Labels[j] != ds.Labels[j] {
+			t.Fatal("labels must be preserved")
+		}
+	}
+	// Original unchanged.
+	orig := make([]float64, 12)
+	ds.X.Col(0, orig)
+	noisy.X.Col(0, col)
+	same := true
+	for i := range col {
+		if col[i] != orig[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("AddNoise(0.2) returned identical first point; expected perturbation")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	rng := rand.New(rand.NewSource(94))
+	s := RandomSubspaces(8, 2, 2, rng)
+	ds := s.Sample(3, rng)
+	sub := ds.Select([]int{5, 0})
+	if sub.N() != 2 || sub.Labels[0] != ds.Labels[5] || sub.Labels[1] != ds.Labels[0] {
+		t.Fatalf("Select wrong: %v", sub.Labels)
+	}
+}
+
+func TestPartitionIIDCoversAllPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	p := PartitionIID(100, 7, rng)
+	if p.Z() != 7 {
+		t.Fatalf("Z=%d", p.Z())
+	}
+	seen := make([]bool, 100)
+	for dev, pts := range p.Points {
+		for _, i := range pts {
+			if seen[i] {
+				t.Fatalf("point %d on multiple devices", i)
+			}
+			seen[i] = true
+			if p.DeviceOf[i] != dev {
+				t.Fatal("DeviceOf inconsistent with Points")
+			}
+		}
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("point %d unassigned", i)
+		}
+	}
+	// Balanced within 1.
+	for _, pts := range p.Points {
+		if len(pts) < 100/7 || len(pts) > 100/7+1 {
+			t.Fatalf("unbalanced device size %d", len(pts))
+		}
+	}
+}
+
+func TestPartitionNonIIDRespectsLPrime(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	l, z, lp := 10, 20, 3
+	labels := make([]int, 400)
+	for i := range labels {
+		labels[i] = i % l
+	}
+	p := PartitionNonIID(labels, l, z, lp, rng)
+	perDev := p.ClustersPerDevice(labels)
+	for dev, c := range perDev {
+		if c > lp {
+			t.Fatalf("device %d sees %d clusters > L'=%d", dev, c, lp)
+		}
+	}
+	// Every point assigned exactly once.
+	seen := make([]bool, len(labels))
+	for _, pts := range p.Points {
+		for _, i := range pts {
+			if seen[i] {
+				t.Fatal("duplicate assignment")
+			}
+			seen[i] = true
+		}
+	}
+	for i := range seen {
+		if !seen[i] {
+			t.Fatalf("point %d unassigned", i)
+		}
+	}
+	// Every cluster held by at least one device.
+	zl := p.DevicesPerCluster(labels, l)
+	for c, n := range zl {
+		if n == 0 {
+			t.Fatalf("cluster %d has no devices", c)
+		}
+	}
+}
+
+func TestPartitionNonIIDHeterogeneityIdentity(t *testing.T) {
+	// Σ_z L^(z) == Σ_ℓ Z_ℓ (footnote 4 of the paper).
+	rng := rand.New(rand.NewSource(97))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		l := 3 + r.Intn(8)
+		z := 4 + r.Intn(12)
+		lp := 1 + r.Intn(l)
+		labels := make([]int, 30*l)
+		for i := range labels {
+			labels[i] = i % l
+		}
+		p := PartitionNonIID(labels, l, z, lp, r)
+		sumLz := 0
+		for _, c := range p.ClustersPerDevice(labels) {
+			sumLz += c
+		}
+		sumZl := 0
+		for _, c := range p.DevicesPerCluster(labels, l) {
+			sumZl += c
+		}
+		return sumLz == sumZl
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionNonIIDRangeTightCoverage(t *testing.T) {
+	// 62 clusters over 20 devices with 2..4 clusters each: the slots
+	// (≤80) barely cover the clusters; every cluster must still get a
+	// holder and per-device counts must stay within [2,4].
+	rng := rand.New(rand.NewSource(99))
+	l, z := 62, 20
+	labels := make([]int, 3*l)
+	for i := range labels {
+		labels[i] = i % l
+	}
+	p := PartitionNonIIDRange(labels, l, z, 2, 4, rng)
+	for dev, c := range p.ClustersPerDevice(labels) {
+		if c < 1 || c > 4 {
+			t.Fatalf("device %d holds %d clusters, want 1..4", dev, c)
+		}
+	}
+	for c, n := range p.DevicesPerCluster(labels, l) {
+		if n == 0 {
+			t.Fatalf("cluster %d uncovered", c)
+		}
+	}
+}
+
+func TestPartitionNonIIDRangeImpossiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when slots cannot cover clusters")
+		}
+	}()
+	rng := rand.New(rand.NewSource(100))
+	labels := make([]int, 20)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	PartitionNonIIDRange(labels, 10, 2, 1, 1, rng) // z·lpMax = 2 slots for 10 clusters
+}
+
+func TestPartitionNonIIDLPrimeClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(98))
+	labels := []int{0, 1, 0, 1}
+	p := PartitionNonIID(labels, 2, 3, 99, rng) // lPrime > L clamps to L
+	if p.Z() != 3 {
+		t.Fatalf("Z=%d", p.Z())
+	}
+}

@@ -1,0 +1,113 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+
+	"fedsc/internal/mat"
+)
+
+// SemiRandomReport evaluates the global semi-random conditions of
+// Theorems 1 (SSC) and 2 (TSC) for a set of subspaces and a federated
+// layout, returning both sides of each inequality so callers can see the
+// margin, not just a boolean.
+type SemiRandomReport struct {
+	// MaxNormalizedAffinity is max_{k≠ℓ} aff(S_ℓ,S_k)/√(d_k∧d_ℓ).
+	MaxNormalizedAffinity float64
+	// SSCBound is the right-hand side of Corollary 1 (up to the
+	// unspecified constants c, t, here taken as 1).
+	SSCBound float64
+	// TSCBound is the right-hand side of Corollary 2.
+	TSCBound float64
+	// SSCHolds and TSCHolds report whether the affinities clear the
+	// respective bounds.
+	SSCHolds, TSCHolds bool
+}
+
+// CheckSemiRandom evaluates the corollaries' affinity bounds for
+// subspaces with orthonormal bases, all of dimension d, with Z′ devices
+// per subspace and at most rPrime local clusters per device.
+func CheckSemiRandom(bases []*mat.Dense, d, zPrime, rPrime int) SemiRandomReport {
+	l := len(bases)
+	maxAff := 0.0
+	for a := 0; a < l; a++ {
+		for b := a + 1; b < l; b++ {
+			if aff := NormalizedAffinity(bases[a], bases[b]); aff > maxAff {
+				maxAff = aff
+			}
+		}
+	}
+	rep := SemiRandomReport{MaxNormalizedAffinity: maxAff}
+	// Corollary 1 (constants c = t = 1): √(d·log((Z′−1)/d)) / log[L·r′·Z′·(r′Z′+1)],
+	// normalized by √d to compare with the normalized affinity.
+	logArg := float64(zPrime-1) / float64(d)
+	if logArg > 1 {
+		num := math.Sqrt(float64(d) * math.Log(logArg))
+		den := math.Log(float64(l) * float64(rPrime) * float64(zPrime) * (float64(rPrime)*float64(zPrime) + 1))
+		if den > 0 {
+			rep.SSCBound = num / den / math.Sqrt(float64(d))
+		}
+	}
+	// Corollary 2: √d / (15·log(L·r′·Z′)), normalized by √d.
+	den2 := 15 * math.Log(float64(l)*float64(rPrime)*float64(zPrime))
+	if den2 > 0 {
+		rep.TSCBound = 1 / den2
+	}
+	rep.SSCHolds = maxAff < rep.SSCBound
+	rep.TSCHolds = maxAff <= rep.TSCBound
+	return rep
+}
+
+// DeterministicReport evaluates the active deterministic condition of
+// Theorems 1-2 for one subspace: the worst-case inradius of the
+// symmetrized convex hulls against the active subspace incoherence.
+type DeterministicReport struct {
+	// MinInradius estimates min over leave-one-out submatrices of
+	// r(𝒫(X̃_{ℓ,−i})).
+	MinInradius float64
+	// ActiveIncoherence is μ̃(X_ℓ) of Definition 3.
+	ActiveIncoherence float64
+	// Holds reports MinInradius > ActiveIncoherence.
+	Holds bool
+}
+
+// CheckDeterministic evaluates the condition for subspace ℓ. xl holds the
+// subspace's points (columns), basis its orthonormal basis, xActive the
+// points of subspaces in its active set (Definition 3); nMin is N′_ℓ, the
+// smallest per-device count of subspace-ℓ points (the condition minimizes
+// over all nMin-column submatrices — here estimated over `subsets` random
+// submatrices). rng drives the inradius estimator.
+func CheckDeterministic(xl, basis, xActive *mat.Dense, nMin, subsets, inradiusTrials int, rng *rand.Rand) DeterministicReport {
+	cols := xl.Cols()
+	if nMin > cols {
+		nMin = cols
+	}
+	minInr := math.Inf(1)
+	for s := 0; s < subsets; s++ {
+		idx := rng.Perm(cols)[:nMin]
+		sub := xl.SelectCols(idx)
+		// Leave-one-out: the condition requires the inradius of every
+		// 𝒫(X̃_{ℓ,−i}); estimate the minimum over i.
+		for i := 0; i < nMin; i++ {
+			keep := make([]int, 0, nMin-1)
+			for j := 0; j < nMin; j++ {
+				if j != i {
+					keep = append(keep, j)
+				}
+			}
+			loo := sub.SelectCols(keep)
+			if inr := InradiusEstimate(loo, basis, inradiusTrials, rng); inr < minInr {
+				minInr = inr
+			}
+		}
+	}
+	var inc float64
+	if xActive != nil && xActive.Cols() > 0 {
+		inc = Incoherence(xl, basis, xActive, 0)
+	}
+	return DeterministicReport{
+		MinInradius:       minInr,
+		ActiveIncoherence: inc,
+		Holds:             minInr > inc,
+	}
+}

@@ -1,0 +1,241 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/synth"
+)
+
+func TestPrincipalAnglesIdenticalSubspaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	u := mat.RandomOrthonormal(10, 3, rng)
+	cos := PrincipalAngles(u, u)
+	for i, c := range cos {
+		if math.Abs(c-1) > 1e-10 {
+			t.Fatalf("cos[%d] = %v want 1", i, c)
+		}
+	}
+	if aff := Affinity(u, u); math.Abs(aff-math.Sqrt(3)) > 1e-9 {
+		t.Fatalf("affinity of identical 3-dim subspaces = %v want √3", aff)
+	}
+}
+
+func TestPrincipalAnglesOrthogonalSubspaces(t *testing.T) {
+	// Span{e1,e2} vs span{e3,e4} in R^6.
+	u := mat.NewDense(6, 2)
+	u.Set(0, 0, 1)
+	u.Set(1, 1, 1)
+	v := mat.NewDense(6, 2)
+	v.Set(2, 0, 1)
+	v.Set(3, 1, 1)
+	if aff := Affinity(u, v); aff > 1e-12 {
+		t.Fatalf("orthogonal subspaces should have zero affinity, got %v", aff)
+	}
+	if na := NormalizedAffinity(u, v); na != 0 {
+		t.Fatalf("normalized affinity = %v", na)
+	}
+}
+
+func TestPrincipalAnglesKnownAngle(t *testing.T) {
+	// 1-dim subspaces at 45°.
+	u := mat.NewDense(2, 1)
+	u.Set(0, 0, 1)
+	v := mat.NewDense(2, 1)
+	v.Set(0, 0, math.Sqrt2/2)
+	v.Set(1, 0, math.Sqrt2/2)
+	cos := PrincipalAngles(u, v)
+	if math.Abs(cos[0]-math.Sqrt2/2) > 1e-12 {
+		t.Fatalf("cos 45° = %v", cos[0])
+	}
+}
+
+func TestNormalizedAffinityInUnitInterval(t *testing.T) {
+	rng := rand.New(rand.NewSource(181))
+	for i := 0; i < 10; i++ {
+		u := mat.RandomOrthonormal(12, 3, rng)
+		v := mat.RandomOrthonormal(12, 4, rng)
+		na := NormalizedAffinity(u, v)
+		if na < 0 || na > 1+1e-12 {
+			t.Fatalf("normalized affinity %v outside [0,1]", na)
+		}
+	}
+}
+
+func TestDualDirectionFeasibility(t *testing.T) {
+	// ν must (approximately) satisfy ‖Xᵀν‖∞ ≤ 1 and have positive ⟨x,ν⟩.
+	rng := rand.New(rand.NewSource(182))
+	s := synth.RandomSubspaces(12, 3, 1, rng)
+	ds := s.Sample(15, rng)
+	x := ds.X.Col(0, nil)
+	rest := ds.X.SliceCols(1, 15)
+	nu := DualDirection(x, rest, 1e-3)
+	prods := mat.MulTVec(rest, nu)
+	if mat.NormInf(prods) > 1.05 {
+		t.Fatalf("dual feasibility violated: ‖Xᵀν‖∞ = %v", mat.NormInf(prods))
+	}
+	if mat.Dot(x, nu) <= 0 {
+		t.Fatalf("dual objective ⟨x,ν⟩ = %v should be positive", mat.Dot(x, nu))
+	}
+}
+
+func TestIncoherenceOrthogonalIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(183))
+	// X_ℓ in span{e1..e3}, others in span{e4..e6}: Example 1 says μ = 0.
+	n := 10
+	basisL := mat.NewDense(n, 3)
+	basisO := mat.NewDense(n, 3)
+	for i := 0; i < 3; i++ {
+		basisL.Set(i, i, 1)
+		basisO.Set(i+3, i, 1)
+	}
+	coefL := mat.RandomGaussian(3, 12, rng)
+	xl := mat.Mul(basisL, coefL)
+	mat.NormalizeColumns(xl)
+	coefO := mat.RandomGaussian(3, 12, rng)
+	xo := mat.Mul(basisO, coefO)
+	mat.NormalizeColumns(xo)
+	mu := Incoherence(xl, basisL, xo, 0)
+	if mu > 1e-6 {
+		t.Fatalf("orthogonal-subspace incoherence = %v want ≈0", mu)
+	}
+}
+
+func TestIncoherenceIncreasesWithOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(184))
+	s := synth.RandomSubspaces(8, 2, 2, rng) // low ambient: subspaces overlap more
+	dsA := s.SampleCounts([]int{14, 0}, rng)
+	dsB := s.SampleCounts([]int{0, 14}, rng)
+	mu := Incoherence(dsA.X, s.Bases[0], dsB.X, 0)
+	if mu <= 0.05 {
+		t.Fatalf("overlapping-subspace incoherence %v suspiciously small", mu)
+	}
+}
+
+func TestActiveSets(t *testing.T) {
+	labels := []int{0, 0, 1, 1, 2, 2}
+	// Device 0 holds clusters {0,1}; device 1 holds {2} only.
+	points := [][]int{{0, 1, 2, 3}, {4, 5}}
+	as := ActiveSets(labels, points, 3)
+	if len(as[0]) != 1 || as[0][0] != 1 {
+		t.Fatalf("α(0) = %v want [1]", as[0])
+	}
+	if len(as[1]) != 1 || as[1][0] != 0 {
+		t.Fatalf("α(1) = %v want [0]", as[1])
+	}
+	if len(as[2]) != 0 {
+		t.Fatalf("α(2) = %v want empty", as[2])
+	}
+}
+
+func TestInradiusEstimateSimplexDirections(t *testing.T) {
+	rng := rand.New(rand.NewSource(185))
+	// Points ±e1, ±e2 in R², symmetrized hull is the cross-polytope with
+	// inradius 1/√2.
+	x := mat.NewDense(2, 2)
+	x.Set(0, 0, 1)
+	x.Set(1, 1, 1)
+	basis := mat.Identity(2)
+	inr := InradiusEstimate(x, basis, 50, rng)
+	if math.Abs(inr-math.Sqrt2/2) > 0.02 {
+		t.Fatalf("cross-polytope inradius = %v want %v", inr, math.Sqrt2/2)
+	}
+}
+
+func TestInradiusGrowsWithMorePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(186))
+	s := synth.RandomSubspaces(10, 3, 1, rng)
+	small := s.Sample(4, rng)
+	large := s.Sample(60, rng)
+	basis := s.Bases[0]
+	inrSmall := InradiusEstimate(small.X, basis, 40, rng)
+	inrLarge := InradiusEstimate(large.X, basis, 40, rng)
+	if inrLarge <= inrSmall {
+		t.Fatalf("denser data should have larger inradius: %v vs %v", inrSmall, inrLarge)
+	}
+	// Unit-norm points: the inradius is at most 1.
+	if inrLarge > 1+1e-9 {
+		t.Fatalf("inradius %v exceeds 1 for unit-norm points", inrLarge)
+	}
+}
+
+func TestGeneralPosition(t *testing.T) {
+	rng := rand.New(rand.NewSource(187))
+	s := synth.RandomSubspaces(10, 3, 1, rng)
+	ds := s.Sample(12, rng)
+	if !GeneralPosition(ds.X, 3, 30, rng) {
+		t.Fatal("Gaussian-sampled points should be in general position")
+	}
+	// Duplicate columns break general position.
+	dup := ds.X.Clone()
+	dup.SetCol(1, dup.Col(0, nil))
+	found := false
+	for trial := 0; trial < 20 && !found; trial++ {
+		found = !GeneralPosition(dup, 2, 200, rng)
+	}
+	if !found {
+		t.Fatal("duplicated column never detected as degenerate")
+	}
+}
+
+func TestCheckSemiRandomConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(188))
+	s := synth.RandomSubspaces(60, 3, 4, rng)
+	rep := CheckSemiRandom(s.Bases, 3, 100, 4)
+	if rep.MaxNormalizedAffinity <= 0 || rep.MaxNormalizedAffinity > 1 {
+		t.Fatalf("bad normalized affinity %v", rep.MaxNormalizedAffinity)
+	}
+	if rep.SSCBound <= 0 || rep.TSCBound <= 0 {
+		t.Fatalf("bounds should be positive: %+v", rep)
+	}
+	if rep.SSCHolds != (rep.MaxNormalizedAffinity < rep.SSCBound) {
+		t.Fatalf("SSCHolds inconsistent with its comparison: %+v", rep)
+	}
+	if rep.TSCHolds != (rep.MaxNormalizedAffinity <= rep.TSCBound) {
+		t.Fatalf("TSCHolds inconsistent with its comparison: %+v", rep)
+	}
+}
+
+func TestCheckSemiRandomOrthogonalHolds(t *testing.T) {
+	// Pairwise-orthogonal subspaces have zero affinity and satisfy both
+	// conditions regardless of constants (Example 1 of the paper).
+	bases := make([]*mat.Dense, 3)
+	for l := range bases {
+		b := mat.NewDense(12, 2)
+		b.Set(2*l, 0, 1)
+		b.Set(2*l+1, 1, 1)
+		bases[l] = b
+	}
+	rep := CheckSemiRandom(bases, 2, 50, 3)
+	if rep.MaxNormalizedAffinity > 1e-12 {
+		t.Fatalf("orthogonal subspaces should have zero affinity: %+v", rep)
+	}
+	if !rep.SSCHolds || !rep.TSCHolds {
+		t.Fatalf("orthogonal subspaces must satisfy both conditions: %+v", rep)
+	}
+}
+
+func TestCheckDeterministicCleanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(189))
+	// Orthogonal subspaces: incoherence 0, inradius positive -> holds.
+	n := 12
+	basisL := mat.NewDense(n, 2)
+	basisO := mat.NewDense(n, 2)
+	for i := 0; i < 2; i++ {
+		basisL.Set(i, i, 1)
+		basisO.Set(i+2, i, 1)
+	}
+	xl := mat.Mul(basisL, mat.RandomGaussian(2, 20, rng))
+	mat.NormalizeColumns(xl)
+	xo := mat.Mul(basisO, mat.RandomGaussian(2, 20, rng))
+	mat.NormalizeColumns(xo)
+	rep := CheckDeterministic(xl, basisL, xo, 8, 3, 25, rng)
+	if !rep.Holds {
+		t.Fatalf("orthogonal case must satisfy the deterministic condition: %+v", rep)
+	}
+	if rep.MinInradius <= 0 {
+		t.Fatalf("inradius should be positive: %+v", rep)
+	}
+}
