@@ -1,0 +1,28 @@
+# Developer entry points; `make check` is what CI should run.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# -short skips the multi-minute experiment sweeps, which exceed the
+# per-package test timeout under the race detector.
+race:
+	$(GO) test -short -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

@@ -9,12 +9,14 @@ package fedsc_test
 // Use cmd/fedsc-bench for the full default/paper-scale regeneration.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"fedsc/internal/core"
 	"fedsc/internal/experiments"
 	"fedsc/internal/mat"
+	"fedsc/internal/serve"
 	"fedsc/internal/spectral"
 	"fedsc/internal/subspace"
 	"fedsc/internal/synth"
@@ -149,5 +151,54 @@ func BenchmarkTruncatedSVD(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mat.TruncatedSVD(x, 5)
+	}
+}
+
+// BenchmarkServeAssign measures the online assignment engine
+// (internal/serve): min-residual cluster assignment against the exported
+// per-cluster bases, single-point and batched, across global cluster
+// counts and ambient dimensions.
+func BenchmarkServeAssign(b *testing.B) {
+	for _, cfg := range []struct {
+		l, ambient int
+	}{
+		{4, 20},
+		{16, 20},
+		{16, 128},
+		{64, 128},
+	} {
+		rng := rand.New(rand.NewSource(9))
+		s := synth.RandomSubspaces(cfg.ambient, 3, cfg.l, rng)
+		ds := s.Sample(16, rng)
+		part := synth.PartitionNonIID(ds.Labels, cfg.l, 2*cfg.l, 2, rng)
+		devices := make([]*mat.Dense, part.Z())
+		for dev := 0; dev < part.Z(); dev++ {
+			devices[dev] = ds.Select(part.Points[dev]).X
+		}
+		res := core.Run(devices, cfg.l, core.Options{}, rng)
+		model, err := core.ModelFromResult(res, cfg.l, 0, core.CentralSSC)
+		if err != nil {
+			b.Fatalf("L=%d n=%d: build model: %v", cfg.l, cfg.ambient, err)
+		}
+		engine, err := serve.NewEngine(model)
+		if err != nil {
+			b.Fatalf("L=%d n=%d: engine: %v", cfg.l, cfg.ambient, err)
+		}
+		point := ds.X.Col(0, nil)
+		batch := ds.X.SliceCols(0, 64)
+		b.Run(fmt.Sprintf("single/L=%d/n=%d", cfg.l, cfg.ambient), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.AssignPoint(point); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("batch64/L=%d/n=%d", cfg.l, cfg.ambient), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := engine.Assign(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

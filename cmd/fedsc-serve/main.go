@@ -1,0 +1,154 @@
+// Command fedsc-serve is the online inference tier of the Fed-SC stack:
+// it serves "which cluster does this point belong to?" queries over HTTP
+// against the model artifact a completed one-shot round produced.
+//
+// Serve an existing artifact (written by `fedsc -save`, `fedsc-server
+// -save` or a previous `fedsc-serve -train`):
+//
+//	fedsc-serve -addr :8080 -model round.fedsc
+//
+// Or run a federated round first (the server side of the one-shot
+// protocol, pair with cmd/fedsc-client) and serve its result:
+//
+//	fedsc-serve -addr :8080 -train -fed-addr :7070 -clients 8 -L 20 \
+//	    -save round.fedsc
+//
+// Endpoints: POST /v1/assign (single point or batch), GET /v1/models,
+// POST /v1/reload, GET /healthz, GET /metrics (Prometheus text format).
+// SIGINT/SIGTERM trigger a graceful drain.
+//
+//	curl -s localhost:8080/v1/assign -d '{"point": [0.1, -0.3, 0.7]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"fedsc/internal/core"
+	"fedsc/internal/fednet"
+	"fedsc/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "HTTP listen address")
+		model     = flag.String("model", "", "model artifact to serve")
+		train     = flag.Bool("train", false, "run a federated round first and serve its result")
+		fedAddr   = flag.String("fed-addr", ":7070", "federated-round listen address (with -train)")
+		clients   = flag.Int("clients", 4, "devices to wait for (with -train)")
+		l         = flag.Int("L", 20, "number of global clusters (with -train)")
+		central   = flag.String("central", "ssc", "central clustering: ssc or tsc (with -train)")
+		seed      = flag.Int64("seed", 1, "server random seed (with -train)")
+		targetDim = flag.String("dim", "auto", "per-cluster basis dimension: auto or an integer (with -train)")
+		save      = flag.String("save", "", "also save the trained artifact here (with -train)")
+		maxBatch  = flag.Int("batch", 64, "max points scored as one blocked batch")
+		batchWait = flag.Duration("batch-wait", 200*time.Microsecond, "how long to hold an underfull batch open")
+		workers   = flag.Int("workers", 0, "batch workers (0 = GOMAXPROCS)")
+		grace     = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	reg := serve.NewRegistry()
+	switch {
+	case *model != "" && *train:
+		fatalf("-model and -train are mutually exclusive")
+	case *model != "":
+		if err := reg.LoadFile(*model); err != nil {
+			fatalf("%v", err)
+		}
+		cur := reg.Current()
+		log.Printf("fedsc-serve: loaded %s (L=%d, ambient=%d, method=%s, created %s)",
+			cur.Name, cur.Model.L, cur.Model.Ambient, cur.Model.Method,
+			cur.Model.Created().Format(time.RFC3339))
+	case *train:
+		m, err := trainRound(*fedAddr, *clients, *l, *central, *seed, *targetDim)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *save != "" {
+			if err := m.Save(*save); err != nil {
+				fatalf("%v", err)
+			}
+			log.Printf("fedsc-serve: saved artifact to %s", *save)
+			if err := reg.LoadFile(*save); err != nil {
+				fatalf("%v", err)
+			}
+		} else if err := reg.SetModel(fmt.Sprintf("round-%d", time.Now().Unix()), m); err != nil {
+			fatalf("%v", err)
+		}
+	default:
+		fatalf("need -model <artifact> or -train (see -h)")
+	}
+
+	metrics := serve.NewMetrics()
+	batcher := serve.NewBatcher(reg, metrics, serve.BatcherOptions{
+		MaxBatch: *maxBatch,
+		MaxWait:  *batchWait,
+		Workers:  *workers,
+	})
+	handler := serve.NewHandler(reg, batcher, metrics)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	ctx, cancel := serve.SignalContext(context.Background())
+	defer cancel()
+	log.Printf("fedsc-serve: serving on %s (batch=%d, wait=%s)", ln.Addr(), *maxBatch, *batchWait)
+	if err := serve.Serve(ctx, ln, handler, *grace); err != nil {
+		fatalf("%v", err)
+	}
+	log.Printf("fedsc-serve: drained after %d requests (%d points assigned)",
+		metrics.Requests(), metrics.Assigned())
+}
+
+// trainRound runs the server side of one federated round and returns the
+// exported serving artifact.
+func trainRound(addr string, clients, l int, central string, seed int64, dim string) (*core.Model, error) {
+	method := core.CentralSSC
+	switch central {
+	case "ssc":
+	case "tsc":
+		method = core.CentralTSC
+	default:
+		return nil, fmt.Errorf("unknown central method %q", central)
+	}
+	exportDim := 0
+	if dim != "auto" {
+		if _, err := fmt.Sscanf(dim, "%d", &exportDim); err != nil || exportDim <= 0 {
+			return nil, fmt.Errorf("-dim must be auto or a positive integer, got %q", dim)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+	log.Printf("fedsc-serve: waiting for %d devices on %s (L=%d, central=%s)", clients, ln.Addr(), l, central)
+	srv := &fednet.Server{
+		L:       l,
+		Expect:  clients,
+		Central: core.CentralOptions{Method: method},
+		Seed:    seed,
+		Export:  true, ExportDim: exportDim,
+	}
+	stats, err := srv.Serve(ln)
+	if err != nil {
+		return nil, err
+	}
+	if stats.Model == nil {
+		return nil, fmt.Errorf("round completed without pooling any samples")
+	}
+	log.Printf("fedsc-serve: round complete — %d samples from %d devices, %d uplink bytes",
+		stats.Samples, stats.Devices, stats.UplinkBytes)
+	return stats.Model, nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fedsc-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

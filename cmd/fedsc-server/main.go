@@ -27,6 +27,7 @@ func main() {
 		l       = flag.Int("L", 20, "number of global clusters")
 		central = flag.String("central", "ssc", "central clustering: ssc or tsc")
 		seed    = flag.Int64("seed", 1, "server random seed")
+		save    = flag.String("save", "", "save the serving artifact here after the round")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		Expect:  *clients,
 		Central: core.CentralOptions{Method: method},
 		Seed:    *seed,
+		Export:  *save != "",
 	}
 	stats, err := srv.Serve(ln)
 	if err != nil {
@@ -59,4 +61,13 @@ func main() {
 	}
 	fmt.Printf("round complete: %d samples pooled, %d uplink bytes\n",
 		stats.Samples, stats.UplinkBytes)
+	if *save != "" {
+		if stats.Model == nil {
+			log.Fatalf("fedsc-server: round pooled no samples, nothing to save")
+		}
+		if err := stats.Model.Save(*save); err != nil {
+			log.Fatalf("fedsc-server: save model: %v", err)
+		}
+		fmt.Printf("saved serving artifact to %s\n", *save)
+	}
 }

@@ -36,8 +36,12 @@ func main() {
 		ambient = flag.Int("ambient", 20, "ambient dimension (synthetic) or feature dim (real)")
 		noise   = flag.Float64("noise", 0, "channel-noise δ for Fed-SC uploads")
 		seed    = flag.Int64("seed", 1, "random seed")
+		save    = flag.String("save", "", "save the serving artifact here (fedsc-ssc/fedsc-tsc only)")
 	)
 	flag.Parse()
+	if *save != "" && *method != "fedsc-ssc" && *method != "fedsc-tsc" {
+		fatalf("-save requires -method fedsc-ssc or fedsc-tsc (got %q)", *method)
+	}
 	rng := rand.New(rand.NewSource(*seed))
 
 	var ds synth.Dataset
@@ -108,6 +112,16 @@ func main() {
 		pred = core.FlattenLabels(res.Labels)
 		fmt.Printf("sum_r=%d uplink=%d bits downlink=%d bits central=%.2fs\n",
 			sum(res.RPerDevice), res.UplinkBits, res.DownlinkBits, res.CentralTime.Seconds())
+		if *save != "" {
+			model, err := core.ModelFromResult(res, numClusters, 0, m)
+			if err != nil {
+				fatalf("build model: %v", err)
+			}
+			if err := model.Save(*save); err != nil {
+				fatalf("save model: %v", err)
+			}
+			fmt.Printf("saved serving artifact to %s\n", *save)
+		}
 	case "kfed", "kfed-pca10", "kfed-pca100":
 		pcaDim := map[string]int{"kfed": 0, "kfed-pca10": 10, "kfed-pca100": 100}[*method]
 		res := kfed.Run(devices, numClusters, rng, kfed.Options{KLocal: lp, PCADim: pcaDim})

@@ -157,4 +157,11 @@ type Result struct {
 	// dimensions); the experiment harness uses it to build the induced
 	// global affinity graph for the CONN metric of Section VI.
 	Locals []LocalResult
+	// GlobalBases[g] is an orthonormal basis of global cluster g's
+	// subspace, estimated by truncated SVD over the pooled samples the
+	// server assigned to g; GlobalDims[g] is its dimension. These are
+	// what the serving tier (internal/serve) scores new points against
+	// by minimum projection residual.
+	GlobalBases []*mat.Dense
+	GlobalDims  []int
 }

@@ -250,3 +250,52 @@ func TestAggregatePanicsOnUnknownCentral(t *testing.T) {
 	locals := []LocalResult{LocalClusterAndSample(devices[0], LocalOptions{UseEigengap: true}, rng)}
 	Aggregate(devices, locals, 2, Options{Central: CentralOptions{Method: "bogus"}}, rng)
 }
+
+func TestFlattenLabelsEdgeCases(t *testing.T) {
+	// Zero devices.
+	if got := FlattenLabels(nil); len(got) != 0 {
+		t.Fatalf("FlattenLabels(nil) = %v", got)
+	}
+	if got := FlattenLabels([][]int{}); len(got) != 0 {
+		t.Fatalf("FlattenLabels(empty) = %v", got)
+	}
+	// A device with zero points contributes nothing but must not shift
+	// its neighbors.
+	got := FlattenLabels([][]int{{1, 2}, {}, {3}})
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("FlattenLabels = %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FlattenLabels = %v want %v", got, want)
+		}
+	}
+}
+
+func TestGlobalLabelsEdgeCases(t *testing.T) {
+	// Zero devices: every point keeps the zero label.
+	got := GlobalLabels(nil, nil, 3)
+	if len(got) != 3 {
+		t.Fatalf("GlobalLabels(nil) has %d entries, want 3", len(got))
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("GlobalLabels(nil)[%d] = %d", i, v)
+		}
+	}
+	// A device with zero points, plus ragged per-device sizes.
+	labels := [][]int{{7, 8}, {}, {9, 4, 5}}
+	points := [][]int{{4, 0}, {}, {1, 3, 2}}
+	got = GlobalLabels(labels, points, 5)
+	want := []int{8, 9, 5, 4, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GlobalLabels = %v want %v", got, want)
+		}
+	}
+	// n = 0 with no devices.
+	if got := GlobalLabels([][]int{}, [][]int{}, 0); len(got) != 0 {
+		t.Fatalf("GlobalLabels(0 points) = %v", got)
+	}
+}

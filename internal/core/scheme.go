@@ -136,6 +136,11 @@ func Aggregate(devices []*mat.Dense, locals []LocalResult, l int, opts Options, 
 	res.ParallelTime = maxLocal + centralTime
 	res.CentralAffinity = central.Affinity
 	res.Locals = locals
+	// Out-of-sample support: estimate each global cluster's subspace
+	// basis from the pooled samples it received. The pooled matrix is
+	// tiny (Σr⁽ᶻ⁾ columns), so this costs a vanishing fraction of
+	// Phase 2 and makes every Result directly servable.
+	res.GlobalBases, res.GlobalDims = GlobalBases(theta, central.Labels, l, opts.Local.TargetDim)
 	return res
 }
 

@@ -113,6 +113,9 @@ func TestRunDispatch(t *testing.T) {
 	if _, ok := Run("nope", QuickScale()); ok {
 		t.Fatal("unknown experiment resolved")
 	}
+	if testing.Short() {
+		t.Skip("sweeps every remaining experiment at quick scale")
+	}
 	for _, name := range All() {
 		switch name {
 		case NameFig6, NameTable3, NameTable4, NamePrivacy, NameQuant, NameTheory, NameScaling:

@@ -2,6 +2,8 @@ package fednet
 
 import (
 	"encoding/gob"
+	"errors"
+	"io"
 	"math/rand"
 	"net"
 	"strings"
@@ -300,5 +302,188 @@ func TestServerRequiresPositiveExpect(t *testing.T) {
 	srv := &Server{L: 2}
 	if _, err := srv.Serve(&staticListener{}); err == nil {
 		t.Fatal("expected error for Expect=0 Serve")
+	}
+}
+
+// feedListener hands pre-established connections to Serve in a fixed
+// order and then blocks (unlike staticListener it never returns EOF), so
+// straggler-timeout paths can be exercised deterministically over pipes.
+type feedListener struct {
+	conns chan net.Conn
+}
+
+func (l *feedListener) Accept() (net.Conn, error) {
+	c, ok := <-l.conns
+	if !ok {
+		return nil, io.EOF
+	}
+	return c, nil
+}
+
+func (l *feedListener) Close() error   { return nil }
+func (l *feedListener) Addr() net.Addr { return staticAddr{} }
+
+// TestStragglerRoundUsesActualDeviceCount is a regression test: when the
+// straggler timeout fires with fewer devices than Expect, the central
+// clustering must see the ACTUAL number of participating devices, not
+// Expect — for TSC the neighbor count is q = max(3, ⌈Z/L⌉), so an
+// inflated Z silently changes the clustering.
+func TestStragglerRoundUsesActualDeviceCount(t *testing.T) {
+	const l, joined, expect = 2, 4, 40
+	// Seed chosen so that q = max(3, ⌈40/2⌉) and q = max(3, ⌈4/2⌉)
+	// produce different TSC partitions of the pooled samples — the test
+	// genuinely discriminates the two device counts.
+	devices, _ := fedDevices(20, 3, l, joined, 2, 8, 160)
+	srv := &Server{
+		L: l, Expect: expect, Seed: 7,
+		Central:     core.CentralOptions{Method: core.CentralTSC},
+		WaitTimeout: 300 * time.Millisecond, MinClients: 1,
+	}
+	ln := &feedListener{conns: make(chan net.Conn, joined)}
+	results := make([]ClientResult, joined)
+	errs := make([]error, joined)
+	var cw sync.WaitGroup
+	for dev := 0; dev < joined; dev++ {
+		sc, cc := net.Pipe()
+		ln.conns <- sc // accept order = device order: deterministic pooling
+		cw.Add(1)
+		go func(dev int, conn net.Conn) {
+			defer cw.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + dev)))
+			results[dev], errs[dev] = RunClient(conn, dev, devices[dev],
+				core.LocalOptions{UseEigengap: true}, rng)
+		}(dev, cc)
+	}
+	stats, err := srv.Serve(ln)
+	cw.Wait()
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if stats.Devices != joined {
+		t.Fatalf("round ran with %d devices, want %d", stats.Devices, joined)
+	}
+	// Replicate the round offline with the true device count: the pooled
+	// samples and the server seed are identical, so the assignments must
+	// match exactly. With the Expect-count bug the TSC neighbor rule gets
+	// q = max(3, ⌈40/2⌉) instead of max(3, ⌈4/2⌉) and the labels differ.
+	matrices := make([]*mat.Dense, joined)
+	for dev := 0; dev < joined; dev++ {
+		rng := rand.New(rand.NewSource(int64(1000 + dev)))
+		matrices[dev] = core.LocalClusterAndSample(devices[dev], core.LocalOptions{UseEigengap: true}, rng).Samples
+	}
+	theta := mat.HStack(matrices...)
+	want := core.CentralCluster(theta, joined, l, srv.Central, rand.New(rand.NewSource(7))).Labels
+	var got []int
+	for dev := 0; dev < joined; dev++ {
+		if errs[dev] != nil {
+			t.Fatalf("client %d: %v", dev, errs[dev])
+		}
+		got = append(got, results[dev].SampleAssignments...)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("pooled %d assignments, offline %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: server assigned %d, offline (actual-count) clustering says %d\nserver: %v\noffline: %v",
+				i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// noDeadlineConn simulates a transport that rejects read deadlines.
+type noDeadlineConn struct {
+	net.Conn
+}
+
+func (c noDeadlineConn) SetReadDeadline(time.Time) error {
+	return errors.New("deadlines unsupported")
+}
+
+// TestStragglerRecordsDeadlineErrors: a transport whose SetReadDeadline
+// fails cannot be bounded by the straggler grace period; the failure
+// must surface in ServeStats.Failures instead of being dropped.
+func TestStragglerRecordsDeadlineErrors(t *testing.T) {
+	devices, _ := fedDevices(10, 2, 2, 2, 2, 8, 167)
+	srv := &Server{L: 2, Expect: 3, Seed: 1, WaitTimeout: 250 * time.Millisecond, MinClients: 1}
+	ln := &feedListener{conns: make(chan net.Conn, 2)}
+	var cw sync.WaitGroup
+	for dev := 0; dev < 2; dev++ {
+		sc, cc := net.Pipe()
+		if dev == 1 {
+			sc = noDeadlineConn{Conn: sc}
+		}
+		ln.conns <- sc
+		cw.Add(1)
+		go func(dev int, conn net.Conn) {
+			defer cw.Done()
+			rng := rand.New(rand.NewSource(int64(500 + dev)))
+			RunClient(conn, dev, devices[dev], core.LocalOptions{UseEigengap: true}, rng)
+		}(dev, cc)
+	}
+	stats, err := srv.Serve(ln)
+	cw.Wait()
+	if err != nil {
+		t.Fatalf("round should survive one deadline-rejecting device: %v", err)
+	}
+	if len(stats.Failures) != 1 || !strings.Contains(stats.Failures[0], "deadline") {
+		t.Fatalf("deadline rejection not recorded: %v", stats.Failures)
+	}
+}
+
+// TestServeExportsModel: with Export set, a completed round must hand
+// back a valid serving artifact whose bases assign the uploaded samples
+// to their own clusters.
+func TestServeExportsModel(t *testing.T) {
+	devices, _ := fedDevices(20, 3, 4, 12, 2, 8, 168)
+	srv := &Server{L: 4, Expect: 12, Seed: 99, Export: true}
+	serverConns := make([]net.Conn, len(devices))
+	results := make([]ClientResult, len(devices))
+	var cw sync.WaitGroup
+	for dev := range devices {
+		sc, cc := net.Pipe()
+		serverConns[dev] = sc
+		cw.Add(1)
+		go func(dev int, conn net.Conn) {
+			defer cw.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + dev)))
+			results[dev], _ = RunClient(conn, dev, devices[dev],
+				core.LocalOptions{UseEigengap: true}, rng)
+		}(dev, cc)
+	}
+	stats, err := srv.ServeConns(serverConns)
+	cw.Wait()
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if stats.Model == nil {
+		t.Fatal("Export set but no model returned")
+	}
+	if err := stats.Model.Validate(); err != nil {
+		t.Fatalf("exported model invalid: %v", err)
+	}
+	if stats.Model.Ambient != 20 || stats.Model.L != 4 {
+		t.Fatalf("model shape %dx%d", stats.Model.Ambient, stats.Model.L)
+	}
+	if stats.Model.Method != "ssc" {
+		t.Fatalf("model method %q", stats.Model.Method)
+	}
+	// Each device's points, scored by minimum residual against the
+	// exported bases, must reproduce the labels the round returned.
+	bases := stats.Model.Bases()
+	for dev, x := range devices {
+		norms := mat.ColNormsSq(x)
+		for j := 0; j < x.Cols(); j++ {
+			best, bestRes := -1, 0.0
+			for g, u := range bases {
+				r := mat.ResidualsSq(u, x, norms)
+				if best < 0 || r[j] < bestRes {
+					best, bestRes = g, r[j]
+				}
+			}
+			if best != results[dev].Labels[j] {
+				t.Fatalf("device %d point %d: residual rule %d, round %d", dev, j, best, results[dev].Labels[j])
+			}
+		}
 	}
 }

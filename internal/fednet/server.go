@@ -35,6 +35,15 @@ type Server struct {
 	// MinClients is the minimum number of devices required to run the
 	// round when WaitTimeout fires (default 1).
 	MinClients int
+	// Export, when set, builds a serving artifact (core.Model: the
+	// per-global-cluster subspace bases estimated from the pooled
+	// samples) after the central clustering and returns it in
+	// ServeStats.Model — the bridge from a one-shot round to the
+	// inference tier (internal/serve).
+	Export bool
+	// ExportDim forces the per-cluster basis dimension of the exported
+	// model (the paper's d_t shortcut); zero estimates it per cluster.
+	ExportDim int
 }
 
 // ServeStats summarizes one completed aggregation round.
@@ -50,6 +59,9 @@ type ServeStats struct {
 	// only populated in straggler-tolerant mode, where they do not fail
 	// the round.
 	Failures []string
+	// Model is the serving artifact built from the round; only set when
+	// Server.Export is enabled and at least one sample was pooled.
+	Model *core.Model
 }
 
 // Serve accepts exactly s.Expect client connections on ln, collects their
@@ -66,6 +78,11 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 		enc    *gob.Encoder
 		upload SampleUpload
 		err    error
+		// deadlineErr is written only by the collect loop (the decode
+		// goroutine owns err until wg.Wait); the two are merged after the
+		// barrier so recording a rejected SetReadDeadline never races the
+		// in-flight decode.
+		deadlineErr error
 	}
 	var clients []*clientState
 	var wg sync.WaitGroup
@@ -136,12 +153,22 @@ collect:
 			// device cannot hold the round hostage.
 			deadline := time.Now().Add(s.WaitTimeout)
 			for _, c := range clients {
-				c.conn.SetReadDeadline(deadline)
+				if err := c.conn.SetReadDeadline(deadline); err != nil {
+					c.deadlineErr = fmt.Errorf("fednet: set read deadline: %w", err)
+				}
 			}
 			break collect
 		}
 	}
 	wg.Wait()
+	// A transport that rejects deadlines cannot be bounded by the grace
+	// period; surface that as a per-device failure rather than dropping
+	// it silently.
+	for _, c := range clients {
+		if c.err == nil && c.deadlineErr != nil {
+			c.err = c.deadlineErr
+		}
+	}
 	// Pool the valid uploads; reject invalid clients explicitly.
 	var parts []*mat.Dense
 	offsets := make([]int, len(clients))
@@ -164,11 +191,27 @@ collect:
 		total += c.upload.Cols
 	}
 	var labels []int
+	var exported *core.Model
 	if total > 0 {
 		theta := mat.HStack(parts...)
 		rng := rand.New(rand.NewSource(s.Seed))
-		res := core.CentralCluster(theta, s.Expect, s.L, s.Central, rng)
+		// The TSC neighbor rule q = max(3, ⌈Z/L⌉) must see the number of
+		// devices that actually contributed samples — in straggler-
+		// tolerant mode that can be fewer than Expect.
+		res := core.CentralCluster(theta, len(parts), s.L, s.Central, rng)
 		labels = res.Labels
+		if s.Export {
+			method := s.Central.Method
+			if method == "" {
+				method = core.CentralSSC
+			}
+			m, err := core.BuildModel(theta, labels, s.L, s.ExportDim, method)
+			if err != nil {
+				abort()
+				return ServeStats{}, fmt.Errorf("fednet: export model: %w", err)
+			}
+			exported = m
+		}
 	}
 	// Reply to every client and close the connections.
 	for i, c := range clients {
@@ -183,7 +226,7 @@ collect:
 		}
 		c.conn.Close()
 	}
-	stats := ServeStats{UplinkBytes: counter.total(), Samples: total, Devices: len(clients)}
+	stats := ServeStats{UplinkBytes: counter.total(), Samples: total, Devices: len(clients), Model: exported}
 	valid := 0
 	for _, c := range clients {
 		if c.err == nil {

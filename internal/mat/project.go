@@ -1,0 +1,54 @@
+package mat
+
+// Projection-residual kernels for out-of-sample subspace assignment.
+// Given an orthonormal basis U of a subspace, the squared distance of a
+// point x to the subspace is ‖x − U Uᵀx‖² = ‖x‖² − ‖Uᵀx‖², so a whole
+// batch of points can be scored against one subspace with a single
+// blocked matrix product UᵀX — the hot path of the serving tier.
+
+// ColNormsSq returns the squared Euclidean norm of each column of m.
+func ColNormsSq(m *Dense) []float64 {
+	r, c := m.Dims()
+	norms := make([]float64, c)
+	for i := 0; i < r; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			norms[j] += v * v
+		}
+	}
+	return norms
+}
+
+// ResidualsSq returns, for every column x of xs, the squared projection
+// residual ‖x − U Uᵀx‖² onto the column span of the orthonormal basis u.
+// colNormsSq must hold the squared column norms of xs (ColNormsSq); it
+// is taken as an argument so one precomputed pass serves every subspace
+// a batch is scored against. A basis with zero columns spans only the
+// origin, so the residual is the full squared norm. Negative values from
+// floating-point cancellation are clamped to zero.
+func ResidualsSq(u, xs *Dense, colNormsSq []float64) []float64 {
+	if u.Cols() == 0 {
+		out := make([]float64, len(colNormsSq))
+		copy(out, colNormsSq)
+		return out
+	}
+	if u.Rows() != xs.Rows() {
+		panic("mat: ResidualsSq dimension mismatch")
+	}
+	y := MulTA(u, xs) // d x B block of projection coefficients Uᵀxs
+	d, b := y.Dims()
+	out := make([]float64, b)
+	copy(out, colNormsSq)
+	for i := 0; i < d; i++ {
+		row := y.Row(i)
+		for j, v := range row {
+			out[j] -= v * v
+		}
+	}
+	for j, v := range out {
+		if v < 0 {
+			out[j] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveResidualSq computes ‖x − U Uᵀx‖² by materializing the projection.
+func naiveResidualSq(u *Dense, x []float64) float64 {
+	coef := MulTVec(u, x)   // Uᵀx
+	proj := MulVec(u, coef) // U Uᵀx
+	s := 0.0
+	for i := range x {
+		d := x[i] - proj[i]
+		s += d * d
+	}
+	return s
+}
+
+func TestColNormsSq(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := RandomGaussian(9, 5, rng)
+	got := ColNormsSq(m)
+	want := ColNorms(m)
+	for j := range got {
+		if math.Abs(got[j]-want[j]*want[j]) > 1e-12 {
+			t.Fatalf("column %d: ColNormsSq %.15f vs ColNorms² %.15f", j, got[j], want[j]*want[j])
+		}
+	}
+}
+
+func TestResidualsSqMatchesNaiveProjection(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	u := RandomOrthonormal(20, 4, rng)
+	xs := RandomGaussian(20, 13, rng)
+	res := ResidualsSq(u, xs, ColNormsSq(xs))
+	col := make([]float64, 20)
+	for j := 0; j < xs.Cols(); j++ {
+		xs.Col(j, col)
+		want := naiveResidualSq(u, col)
+		if math.Abs(res[j]-want) > 1e-10 {
+			t.Fatalf("column %d: residual %.12f, naive %.12f", j, res[j], want)
+		}
+	}
+}
+
+func TestResidualsSqInSpanIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	u := RandomOrthonormal(16, 3, rng)
+	coef := RandomGaussian(3, 6, rng)
+	xs := Mul(u, coef) // columns lie exactly in span(U)
+	res := ResidualsSq(u, xs, ColNormsSq(xs))
+	for j, v := range res {
+		if v > 1e-12 {
+			t.Fatalf("in-span column %d has residual %.3e", j, v)
+		}
+	}
+}
+
+func TestResidualsSqEmptyBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	xs := RandomGaussian(6, 4, rng)
+	norms := ColNormsSq(xs)
+	res := ResidualsSq(NewDense(6, 0), xs, norms)
+	for j := range res {
+		if res[j] != norms[j] {
+			t.Fatalf("empty basis residual %v, want full norm %v", res[j], norms[j])
+		}
+	}
+	// The copy must not alias the caller's slice.
+	res[0] = -1
+	if norms[0] == -1 {
+		t.Fatal("ResidualsSq aliased the input norms")
+	}
+}

@@ -1,0 +1,274 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fedsc/internal/mat"
+)
+
+// ErrStopped is returned by Assign after the batcher has been stopped.
+var ErrStopped = errors.New("serve: batcher stopped")
+
+// Assignment is the answer to one point.
+type Assignment struct {
+	// Label is the global cluster in [0, L) of minimum projection
+	// residual.
+	Label int `json:"label"`
+	// Residual is ‖x − U Uᵀx‖ against the winning cluster's basis.
+	Residual float64 `json:"residual"`
+}
+
+// BatcherOptions sizes the request coalescing.
+type BatcherOptions struct {
+	// MaxBatch is the largest number of points scored as one blocked
+	// matmul per cluster (default 64).
+	MaxBatch int
+	// MaxWait is how long a worker holds an underfull batch open waiting
+	// for more points (default 200µs). Zero keeps the default; a
+	// negative value disables waiting (every request scores alone).
+	MaxWait time.Duration
+	// Workers is the number of batch workers (default GOMAXPROCS).
+	Workers int
+}
+
+func (o BatcherOptions) withDefaults() BatcherOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 64
+	}
+	if o.MaxWait == 0 {
+		o.MaxWait = 200 * time.Microsecond
+	}
+	if o.MaxWait < 0 {
+		o.MaxWait = 0
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// batchRequest is one caller's unit of work: a group of points that must
+// be answered together.
+type batchRequest struct {
+	vecs [][]float64
+	out  chan batchResponse
+}
+
+type batchResponse struct {
+	assignments []Assignment
+	model       string
+	err         error
+}
+
+// Batcher coalesces concurrent assignment requests into blocked batches:
+// each worker collects requests until MaxBatch points are pending or
+// MaxWait has passed since the first, stacks them into one matrix, and
+// scores all clusters with one blocked matmul each via the current
+// registry snapshot. Workers pull independently, so throughput scales to
+// Workers while a lone request still completes within MaxWait.
+type Batcher struct {
+	reg     *Registry
+	metrics *Metrics
+	opts    BatcherOptions
+
+	reqs chan *batchRequest
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// mu fences Assign's enqueue against Stop: Assign holds the read
+	// lock across the send, Stop flips stopped under the write lock, so
+	// after Stop observes the lock no new request can enter the queue
+	// and the final drain below is complete.
+	mu      sync.RWMutex
+	stopped bool
+}
+
+// NewBatcher starts the worker pool. Callers must Stop it when done.
+func NewBatcher(reg *Registry, metrics *Metrics, opts BatcherOptions) *Batcher {
+	opts = opts.withDefaults()
+	b := &Batcher{
+		reg:     reg,
+		metrics: metrics,
+		opts:    opts,
+		reqs:    make(chan *batchRequest, 4*opts.MaxBatch),
+		stop:    make(chan struct{}),
+	}
+	b.wg.Add(b.opts.Workers)
+	for i := 0; i < b.opts.Workers; i++ {
+		go b.worker()
+	}
+	return b
+}
+
+// Stop shuts the worker pool down: queued requests are still answered,
+// Assign calls arriving after Stop get ErrStopped. Stop is idempotent
+// and returns once every worker has exited.
+func (b *Batcher) Stop() {
+	b.mu.Lock()
+	already := b.stopped
+	b.stopped = true
+	b.mu.Unlock()
+	if already {
+		b.wg.Wait()
+		return
+	}
+	close(b.stop)
+	b.wg.Wait()
+	// No sender can hold the queue anymore; answer any stragglers the
+	// workers missed between their last drain and exit.
+	for {
+		select {
+		case req := <-b.reqs:
+			req.out <- batchResponse{err: ErrStopped}
+		default:
+			return
+		}
+	}
+}
+
+// Assign scores one group of points (each of length ambient) as a unit
+// and returns their assignments plus the name of the model that scored
+// them. It blocks until a batch containing the group is scored, ctx is
+// done, or the batcher stops.
+func (b *Batcher) Assign(ctx context.Context, vecs [][]float64) ([]Assignment, string, error) {
+	if len(vecs) == 0 {
+		return nil, "", fmt.Errorf("serve: empty request")
+	}
+	req := &batchRequest{vecs: vecs, out: make(chan batchResponse, 1)}
+	b.mu.RLock()
+	if b.stopped {
+		b.mu.RUnlock()
+		return nil, "", ErrStopped
+	}
+	select {
+	case b.reqs <- req:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return nil, "", ctx.Err()
+	}
+	select {
+	case resp := <-req.out:
+		return resp.assignments, resp.model, resp.err
+	case <-ctx.Done():
+		// The worker will still score the batch; the answer is dropped
+		// into the request's buffered channel and garbage collected.
+		return nil, "", ctx.Err()
+	}
+}
+
+// worker loops collecting and scoring batches until stop is closed and
+// the queue is drained.
+func (b *Batcher) worker() {
+	defer b.wg.Done()
+	for {
+		var first *batchRequest
+		select {
+		case first = <-b.reqs:
+		case <-b.stop:
+			// Drain whatever is still queued before exiting.
+			select {
+			case first = <-b.reqs:
+			default:
+				return
+			}
+		}
+		batch := []*batchRequest{first}
+		points := len(first.vecs)
+		if b.opts.MaxWait > 0 && points < b.opts.MaxBatch {
+			timer := time.NewTimer(b.opts.MaxWait)
+		fill:
+			for points < b.opts.MaxBatch {
+				select {
+				case req := <-b.reqs:
+					batch = append(batch, req)
+					points += len(req.vecs)
+				case <-timer.C:
+					break fill
+				case <-b.stop:
+					break fill
+				}
+			}
+			timer.Stop()
+		} else {
+			// Opportunistic, non-blocking fill.
+		drain:
+			for points < b.opts.MaxBatch {
+				select {
+				case req := <-b.reqs:
+					batch = append(batch, req)
+					points += len(req.vecs)
+				default:
+					break drain
+				}
+			}
+		}
+		b.score(batch)
+	}
+}
+
+// score stacks the batch into one matrix, runs the engine, and fans the
+// answers back out to the waiting callers.
+func (b *Batcher) score(batch []*batchRequest) {
+	snap := b.reg.Current()
+	if snap == nil {
+		for _, req := range batch {
+			req.out <- batchResponse{err: fmt.Errorf("serve: no model loaded")}
+		}
+		return
+	}
+	n := snap.Engine.Ambient()
+	// Validate per request: one malformed request must not fail the
+	// others sharing its batch.
+	valid := batch[:0:0]
+	points := 0
+	for _, req := range batch {
+		ok := true
+		for _, v := range req.vecs {
+			if len(v) != n {
+				req.out <- batchResponse{err: fmt.Errorf("serve: point has %d dims, model expects %d", len(v), n)}
+				ok = false
+				break
+			}
+		}
+		if ok {
+			valid = append(valid, req)
+			points += len(req.vecs)
+		}
+	}
+	if points == 0 {
+		return
+	}
+	x := mat.NewDense(n, points)
+	col := 0
+	for _, req := range valid {
+		for _, v := range req.vecs {
+			x.SetCol(col, v)
+			col++
+		}
+	}
+	labels, residuals, err := snap.Engine.Assign(x)
+	if err != nil {
+		for _, req := range valid {
+			req.out <- batchResponse{err: err}
+		}
+		return
+	}
+	if b.metrics != nil {
+		b.metrics.ObserveBatch(snap.Name, points)
+	}
+	col = 0
+	for _, req := range valid {
+		out := make([]Assignment, len(req.vecs))
+		for i := range out {
+			out[i] = Assignment{Label: labels[col], Residual: residuals[col]}
+			col++
+		}
+		req.out <- batchResponse{assignments: out, model: snap.Name}
+	}
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fedsc/internal/mat"
+)
+
+func newTestRegistry(t testing.TB, seed int64) (*Registry, []*mat.Dense, [][]int) {
+	t.Helper()
+	devices, res, m := trainModel(t, seed)
+	reg := NewRegistry()
+	if err := reg.SetModel("test-model", m); err != nil {
+		t.Fatalf("SetModel: %v", err)
+	}
+	return reg, devices, res.Labels
+}
+
+func TestBatcherAssignMatchesEngine(t *testing.T) {
+	reg, devices, labels := newTestRegistry(t, 61)
+	metrics := NewMetrics()
+	b := NewBatcher(reg, metrics, BatcherOptions{MaxBatch: 8, MaxWait: time.Millisecond})
+	defer b.Stop()
+	x := devices[0]
+	vecs := make([][]float64, x.Cols())
+	for j := range vecs {
+		vecs[j] = x.Col(j, nil)
+	}
+	got, model, err := b.Assign(context.Background(), vecs)
+	if err != nil {
+		t.Fatalf("assign: %v", err)
+	}
+	if model != "test-model" {
+		t.Fatalf("scored by %q", model)
+	}
+	for j, a := range got {
+		if a.Label != labels[0][j] {
+			t.Fatalf("point %d: batcher %d, round %d", j, a.Label, labels[0][j])
+		}
+	}
+	if metrics.Assigned() != int64(len(vecs)) {
+		t.Fatalf("metrics counted %d assignments, want %d", metrics.Assigned(), len(vecs))
+	}
+}
+
+func TestBatcherCoalesces(t *testing.T) {
+	reg, devices, _ := newTestRegistry(t, 62)
+	metrics := NewMetrics()
+	// A generous window so concurrent singles land in one batch.
+	b := NewBatcher(reg, metrics, BatcherOptions{MaxBatch: 64, MaxWait: 50 * time.Millisecond, Workers: 1})
+	defer b.Stop()
+	x := devices[0]
+	const k = 16
+	var wg sync.WaitGroup
+	for j := 0; j < k; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			if _, _, err := b.Assign(context.Background(), [][]float64{x.Col(j, nil)}); err != nil {
+				t.Errorf("assign %d: %v", j, err)
+			}
+		}(j)
+	}
+	wg.Wait()
+	if metrics.Assigned() != k {
+		t.Fatalf("assigned %d, want %d", metrics.Assigned(), k)
+	}
+	if batches := metrics.Batches(); batches >= k {
+		t.Fatalf("no coalescing: %d batches for %d points", batches, k)
+	}
+}
+
+func TestBatcherRejectsMismatchedDimsIndividually(t *testing.T) {
+	reg, devices, _ := newTestRegistry(t, 63)
+	b := NewBatcher(reg, NewMetrics(), BatcherOptions{MaxBatch: 8, MaxWait: 20 * time.Millisecond, Workers: 1})
+	defer b.Stop()
+	var wg sync.WaitGroup
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, _, goodErr = b.Assign(context.Background(), [][]float64{devices[0].Col(0, nil)})
+	}()
+	go func() {
+		defer wg.Done()
+		_, _, badErr = b.Assign(context.Background(), [][]float64{make([]float64, 3)})
+	}()
+	wg.Wait()
+	if goodErr != nil {
+		t.Fatalf("good request failed alongside a bad one: %v", goodErr)
+	}
+	if badErr == nil {
+		t.Fatal("mismatched-dimension request succeeded")
+	}
+}
+
+func TestBatcherEmptyRequest(t *testing.T) {
+	reg, _, _ := newTestRegistry(t, 64)
+	b := NewBatcher(reg, NewMetrics(), BatcherOptions{})
+	defer b.Stop()
+	if _, _, err := b.Assign(context.Background(), nil); err == nil {
+		t.Fatal("empty request accepted")
+	}
+}
+
+func TestBatcherNoModel(t *testing.T) {
+	b := NewBatcher(NewRegistry(), NewMetrics(), BatcherOptions{MaxWait: -1})
+	defer b.Stop()
+	if _, _, err := b.Assign(context.Background(), [][]float64{{1, 2}}); err == nil {
+		t.Fatal("assign with no model loaded succeeded")
+	}
+}
+
+func TestBatcherStop(t *testing.T) {
+	reg, devices, _ := newTestRegistry(t, 65)
+	b := NewBatcher(reg, NewMetrics(), BatcherOptions{})
+	b.Stop()
+	b.Stop() // idempotent
+	_, _, err := b.Assign(context.Background(), [][]float64{devices[0].Col(0, nil)})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("assign after stop: %v, want ErrStopped", err)
+	}
+}
+
+func TestBatcherContextCancel(t *testing.T) {
+	reg, devices, _ := newTestRegistry(t, 66)
+	b := NewBatcher(reg, NewMetrics(), BatcherOptions{})
+	defer b.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := b.Assign(ctx, [][]float64{devices[0].Col(0, nil)})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled assign: %v", err)
+	}
+}

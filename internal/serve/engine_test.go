@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsc/internal/core"
+	"fedsc/internal/mat"
+	"fedsc/internal/synth"
+)
+
+// trainModel runs Fed-SC on clean synthetic data and returns the devices,
+// the round result, and the serving artifact built from it.
+func trainModel(t testing.TB, seed int64) ([]*mat.Dense, core.Result, *core.Model) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const n, d, l, z, lPrime, per = 20, 3, 4, 16, 2, 8
+	s := synth.RandomSubspaces(n, d, l, rng)
+	devices := make([]*mat.Dense, z)
+	for dev := 0; dev < z; dev++ {
+		clusters := rng.Perm(l)[:lPrime]
+		counts := make([]int, l)
+		for _, c := range clusters {
+			counts[c] = per
+		}
+		devices[dev] = s.SampleCounts(counts, rng).X
+	}
+	res := core.Run(devices, l, core.Options{Local: core.LocalOptions{UseEigengap: true}}, rng)
+	m, err := core.ModelFromResult(res, l, 0, core.CentralSSC)
+	if err != nil {
+		t.Fatalf("ModelFromResult: %v", err)
+	}
+	return devices, res, m
+}
+
+func TestEngineReproducesRoundLabels(t *testing.T) {
+	devices, res, m := trainModel(t, 51)
+	eng, err := NewEngine(m)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if eng.Ambient() != 20 || eng.L() != 4 {
+		t.Fatalf("engine shape %dx%d", eng.Ambient(), eng.L())
+	}
+	for dev, x := range devices {
+		labels, residuals, err := eng.Assign(x)
+		if err != nil {
+			t.Fatalf("assign: %v", err)
+		}
+		for j, g := range labels {
+			if g != res.Labels[dev][j] {
+				t.Fatalf("device %d point %d: engine %d, round %d", dev, j, g, res.Labels[dev][j])
+			}
+			if residuals[j] < 0 || residuals[j] > 0.5 {
+				t.Fatalf("device %d point %d: implausible residual %v for clean in-subspace data", dev, j, residuals[j])
+			}
+		}
+	}
+}
+
+func TestEngineSinglePointMatchesBatch(t *testing.T) {
+	devices, _, m := trainModel(t, 52)
+	eng, err := NewEngine(m)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	x := devices[0]
+	labels, residuals, err := eng.Assign(x)
+	if err != nil {
+		t.Fatalf("assign: %v", err)
+	}
+	col := make([]float64, x.Rows())
+	for j := 0; j < x.Cols(); j++ {
+		x.Col(j, col)
+		lab, res, err := eng.AssignPoint(col)
+		if err != nil {
+			t.Fatalf("assign point: %v", err)
+		}
+		if lab != labels[j] || res != residuals[j] {
+			t.Fatalf("point %d: single (%d, %v) vs batch (%d, %v)", j, lab, res, labels[j], residuals[j])
+		}
+	}
+}
+
+func TestEngineRejectsWrongDimension(t *testing.T) {
+	_, _, m := trainModel(t, 53)
+	eng, err := NewEngine(m)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if _, _, err := eng.Assign(mat.NewDense(7, 2)); err == nil {
+		t.Fatal("wrong-dimension batch accepted")
+	}
+	if _, _, err := eng.AssignPoint(make([]float64, 7)); err == nil {
+		t.Fatal("wrong-dimension point accepted")
+	}
+}
+
+func TestEngineEmptyBatch(t *testing.T) {
+	_, _, m := trainModel(t, 54)
+	eng, err := NewEngine(m)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	labels, residuals, err := eng.Assign(mat.NewDense(eng.Ambient(), 0))
+	if err != nil || len(labels) != 0 || len(residuals) != 0 {
+		t.Fatalf("empty batch: %v %v %v", labels, residuals, err)
+	}
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// AssignRequest is the /v1/assign body: either a single point or a
+// batch. Exactly one of Point and Points must be set.
+type AssignRequest struct {
+	Point  []float64   `json:"point,omitempty"`
+	Points [][]float64 `json:"points,omitempty"`
+}
+
+// AssignResponse answers /v1/assign.
+type AssignResponse struct {
+	// Assignments has one entry per submitted point, in order.
+	Assignments []Assignment `json:"assignments"`
+	// Model names the artifact snapshot that scored the request.
+	Model string `json:"model"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler is the serving API:
+//
+//	POST /v1/assign   assign one point or a batch by minimum residual
+//	GET  /v1/models   list loaded model artifacts
+//	POST /v1/reload   re-read the artifact from disk and hot-swap it
+//	GET  /healthz     readiness (200 once a model is loaded)
+//	GET  /metrics     Prometheus text metrics
+type Handler struct {
+	reg     *Registry
+	batcher *Batcher
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// NewHandler wires the API around a registry and its batcher. metrics
+// may be shared with the batcher (it usually is).
+func NewHandler(reg *Registry, batcher *Batcher, metrics *Metrics) *Handler {
+	h := &Handler{reg: reg, batcher: batcher, metrics: metrics, mux: http.NewServeMux()}
+	h.mux.HandleFunc("/v1/assign", h.assign)
+	h.mux.HandleFunc("/v1/models", h.models)
+	h.mux.HandleFunc("/v1/reload", h.reload)
+	h.mux.HandleFunc("/healthz", h.healthz)
+	h.mux.HandleFunc("/metrics", h.prometheus)
+	return h
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (h *Handler) assign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	done := h.metrics.RequestStart()
+	failed := true
+	defer func() { done(failed) }()
+	var req AssignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	var vecs [][]float64
+	switch {
+	case len(req.Point) > 0 && len(req.Points) > 0:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "set point or points, not both"})
+		return
+	case len(req.Point) > 0:
+		vecs = [][]float64{req.Point}
+	case len(req.Points) > 0:
+		vecs = req.Points
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty request"})
+		return
+	}
+	assignments, model, err := h.batcher.Assign(r.Context(), vecs)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrStopped):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusRequestTimeout
+		}
+		writeJSON(w, status, errorResponse{Error: err.Error()})
+		return
+	}
+	failed = false
+	writeJSON(w, http.StatusOK, AssignResponse{Assignments: assignments, Model: model})
+}
+
+func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.reg.Models())
+}
+
+func (h *Handler) reload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
+		return
+	}
+	if err := h.reg.Reload(); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	cur := h.reg.Current()
+	writeJSON(w, http.StatusOK, map[string]string{"reloaded": cur.Name})
+}
+
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if h.reg.Current() == nil {
+		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (h *Handler) prometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	h.metrics.WritePrometheus(w)
+}
+
+// Serve runs the HTTP server on ln until ctx is cancelled, then shuts it
+// down gracefully (in-flight requests get up to grace to finish; zero
+// means 5s) and stops the batcher. It returns nil on a clean shutdown.
+func Serve(ctx context.Context, ln net.Listener, h *Handler, grace time.Duration) error {
+	if grace <= 0 {
+		grace = 5 * time.Second
+	}
+	srv := &http.Server{Handler: h}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		h.batcher.Stop()
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := srv.Shutdown(shutCtx)
+	h.batcher.Stop()
+	if errors.Is(err, context.DeadlineExceeded) {
+		srv.Close()
+	}
+	<-errCh // Serve has returned http.ErrServerClosed
+	return err
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM — the
+// graceful-shutdown trigger for cmd/fedsc-serve.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, syscall.SIGINT, syscall.SIGTERM)
+}

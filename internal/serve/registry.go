@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedsc/internal/core"
+)
+
+// Snapshot is one loaded model plus its precomputed engine. Snapshots
+// are immutable; the registry swaps whole snapshots atomically, so a
+// batch in flight keeps scoring against the model it started with even
+// while a reload lands.
+type Snapshot struct {
+	// Name identifies the model version (artifact filename or a caller
+	// supplied tag).
+	Name     string
+	Engine   *Engine
+	Model    *core.Model
+	LoadedAt time.Time
+}
+
+// ModelInfo is the /v1/models view of one registry entry.
+type ModelInfo struct {
+	Name     string    `json:"name"`
+	Ambient  int       `json:"ambient"`
+	L        int       `json:"clusters"`
+	Method   string    `json:"method"`
+	Created  time.Time `json:"created"`
+	LoadedAt time.Time `json:"loaded_at"`
+	Checksum string    `json:"checksum"`
+	Active   bool      `json:"active"`
+}
+
+// Registry holds the currently served model and the history of loads.
+// Readers (the batcher workers) take the current snapshot with a single
+// atomic pointer load on every batch; writers (reloads) build the new
+// engine off to the side and swap it in atomically — a hot reload never
+// blocks serving.
+type Registry struct {
+	current atomic.Pointer[Snapshot]
+
+	mu      sync.Mutex
+	path    string // artifact path for Reload; may be empty
+	history []ModelInfo
+}
+
+// NewRegistry returns an empty registry; Serve reports unhealthy until
+// the first model is set.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Current returns the active snapshot, or nil before the first load.
+func (r *Registry) Current() *Snapshot { return r.current.Load() }
+
+// SetModel builds the engine for m and atomically makes it the served
+// model under the given name.
+func (r *Registry) SetModel(name string, m *core.Model) error {
+	eng, err := NewEngine(m)
+	if err != nil {
+		return err
+	}
+	snap := &Snapshot{Name: name, Engine: eng, Model: m, LoadedAt: time.Now()}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.current.Store(snap)
+	r.history = append(r.history, ModelInfo{
+		Name:     name,
+		Ambient:  m.Ambient,
+		L:        m.L,
+		Method:   m.Method,
+		Created:  m.Created(),
+		LoadedAt: snap.LoadedAt,
+		Checksum: fmt.Sprintf("%x", m.Checksum[:8]),
+	})
+	return nil
+}
+
+// LoadFile loads a model artifact from disk and makes it current; the
+// path is remembered so Reload can re-read it later.
+func (r *Registry) LoadFile(path string) error {
+	m, err := core.LoadModel(path)
+	if err != nil {
+		return err
+	}
+	if err := r.SetModel(path, m); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.path = path
+	r.mu.Unlock()
+	return nil
+}
+
+// Reload re-reads the artifact path of the last LoadFile. It fails when
+// the registry was populated via SetModel only.
+func (r *Registry) Reload() error {
+	r.mu.Lock()
+	path := r.path
+	r.mu.Unlock()
+	if path == "" {
+		return fmt.Errorf("serve: no artifact path configured for reload")
+	}
+	return r.LoadFile(path)
+}
+
+// Models lists every load in order, marking the active one.
+func (r *Registry) Models() []ModelInfo {
+	cur := r.Current()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]ModelInfo, len(r.history))
+	copy(out, r.history)
+	for i := range out {
+		out[i].Active = cur != nil && i == len(out)-1
+	}
+	return out
+}
