@@ -1,8 +1,10 @@
 # Developer entry points; `make check` is what CI should run.
 
 GO ?= go
+# Label naming the machine-readable benchmark report (BENCH_<label>.json).
+BENCH_LABEL ?= local
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-json
 
 check: fmt vet build race
 
@@ -26,3 +28,8 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# Machine-readable kernel benchmarks: writes BENCH_$(BENCH_LABEL).json so
+# the performance trajectory is tracked across PRs.
+bench-json:
+	$(GO) run ./cmd/fedsc-bench -json -label $(BENCH_LABEL)

@@ -16,6 +16,7 @@ import (
 	"fedsc/internal/core"
 	"fedsc/internal/experiments"
 	"fedsc/internal/mat"
+	"fedsc/internal/perf"
 	"fedsc/internal/serve"
 	"fedsc/internal/spectral"
 	"fedsc/internal/subspace"
@@ -72,38 +73,16 @@ func BenchmarkScaling(b *testing.B) { benchExperiment(b, experiments.NameScaling
 
 // --- substrate micro-benchmarks ------------------------------------
 
+// The kernel micro-benchmark bodies live in internal/perf so that
+// `go test -bench` here and the BENCH_<label>.json harness behind
+// `fedsc-bench -json` always measure the same code with the same inputs.
+
 // BenchmarkLocalClusterAndSample measures one device's Phase 1 (the
 // dominant per-device cost: SSC + eigengap + truncated SVD + sampling).
-func BenchmarkLocalClusterAndSample(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	s := synth.RandomSubspaces(20, 5, 4, rng)
-	ds := s.SampleCounts([]int{20, 20, 0, 0}, rng)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		core.LocalClusterAndSample(ds.X, core.LocalOptions{UseEigengap: true},
-			rand.New(rand.NewSource(int64(i))))
-	}
-}
+func BenchmarkLocalClusterAndSample(b *testing.B) { perf.LocalClusterAndSample(b) }
 
 // BenchmarkFedSCRound measures a complete one-shot round end to end.
-func BenchmarkFedSCRound(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	s := synth.RandomSubspaces(20, 5, 8, rng)
-	devices := make([]*mat.Dense, 40)
-	for dev := range devices {
-		clusters := rng.Perm(8)[:2]
-		counts := make([]int, 8)
-		for k := 0; k < 30; k++ {
-			counts[clusters[k%2]]++
-		}
-		devices[dev] = s.SampleCounts(counts, rng).X
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		core.Run(devices, 8, core.Options{Local: core.LocalOptions{UseEigengap: true}},
-			rand.New(rand.NewSource(int64(i))))
-	}
-}
+func BenchmarkFedSCRound(b *testing.B) { perf.FedSCRound(b) }
 
 // BenchmarkSSCAffinity measures the Lasso self-expression sweep that
 // dominates both local and centralized SSC.
@@ -119,15 +98,11 @@ func BenchmarkSSCAffinity(b *testing.B) {
 
 // BenchmarkSymEigen measures the dense symmetric eigendecomposition used
 // by spectral clustering and the eigengap estimate.
-func BenchmarkSymEigen(b *testing.B) {
-	rng := rand.New(rand.NewSource(4))
-	g := mat.RandomGaussian(200, 200, rng)
-	a := mat.MulTA(g, g)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mat.SymEigen(a)
-	}
-}
+func BenchmarkSymEigen(b *testing.B) { perf.SymEigen(b) }
+
+// BenchmarkMulTA measures the transposed product behind Gram-matrix
+// formation and the randomized SVD's projection step.
+func BenchmarkMulTA(b *testing.B) { perf.MulTA(b) }
 
 // BenchmarkSpectralCluster measures normalized spectral clustering on a
 // 300-vertex affinity graph.
@@ -143,16 +118,7 @@ func BenchmarkSpectralCluster(b *testing.B) {
 }
 
 // BenchmarkTruncatedSVD measures per-cluster basis recovery.
-func BenchmarkTruncatedSVD(b *testing.B) {
-	rng := rand.New(rand.NewSource(6))
-	basis := mat.RandomOrthonormal(128, 5, rng)
-	coef := mat.RandomGaussian(5, 60, rng)
-	x := mat.Mul(basis, coef)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mat.TruncatedSVD(x, 5)
-	}
-}
+func BenchmarkTruncatedSVD(b *testing.B) { perf.TruncatedSVD(b) }
 
 // BenchmarkServeAssign measures the online assignment engine
 // (internal/serve): min-residual cluster assignment against the exported

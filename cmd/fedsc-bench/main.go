@@ -4,9 +4,15 @@
 // Usage:
 //
 //	fedsc-bench [-scale quick|default|paper] [-seed N] [-tsv] [experiment ...]
+//	fedsc-bench -json [-label NAME]
 //
 // With no experiment arguments every experiment runs in evaluation-
 // section order (fig4 fig5 fig6 fig7 table3 table4 comm ablate).
+//
+// With -json the experiment tables are skipped; instead the tracked
+// kernel benchmarks (internal/perf) run and their ns/op, B/op and
+// allocs/op are written to BENCH_<label>.json, so the performance
+// trajectory is recorded machine-readably across PRs (`make bench-json`).
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 	"time"
 
 	"fedsc/internal/experiments"
+	"fedsc/internal/perf"
 )
 
 func main() {
@@ -23,11 +30,28 @@ func main() {
 	seed := flag.Int64("seed", 1, "master random seed")
 	tsv := flag.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
 	doPlot := flag.Bool("plot", false, "render each table as a terminal chart (line or heatmap)")
+	jsonOut := flag.Bool("json", false, "run the tracked kernel benchmarks and write BENCH_<label>.json")
+	label := flag.String("label", "local", "label naming the -json output file")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fedsc-bench [flags] [experiment ...]\nexperiments: %v\nflags:\n", experiments.All())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *jsonOut {
+		path := fmt.Sprintf("BENCH_%s.json", *label)
+		results := perf.RunSuite()
+		for _, r := range results {
+			fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n",
+				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+		if err := perf.WriteJSON(path, *label, results); err != nil {
+			fmt.Fprintf(os.Stderr, "fedsc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
 
 	scale, ok := experiments.ScaleByName(*scaleName)
 	if !ok {

@@ -60,9 +60,8 @@ func LocalClusterAndSample(x *mat.Dense, opts LocalOptions, rng *rand.Rand) Loca
 	dims := make([]int, r)
 	for t, idx := range partitions {
 		sub := x.SelectCols(idx)
-		dt := estimateDim(sub, opts)
+		basis, dt := clusterBasis(sub, opts)
 		dims[t] = dt
-		basis, _ := mat.TruncatedSVD(sub, dt)
 		for s := 0; s < opts.SamplesPerCluster; s++ {
 			theta := sampleFromBasis(basis, rng)
 			samples.SetCol(t*opts.SamplesPerCluster+s, theta)
@@ -76,26 +75,38 @@ func LocalClusterAndSample(x *mat.Dense, opts LocalOptions, rng *rand.Rand) Loca
 	}
 }
 
-// estimateDim picks the subspace dimension d_t for one local cluster.
-// Without a TargetDim override it detects the numerical rank by the
-// largest multiplicative gap in the singular-value spectrum — robust to
-// the noise floor real data puts under the true subspace spectrum (a
-// fixed tolerance would read the noise as extra dimensions). RankTol
-// only marks where the spectrum has decayed to negligible.
-func estimateDim(sub *mat.Dense, opts LocalOptions) int {
+// clusterBasis recovers one cluster's orthonormal subspace basis and its
+// dimension. With a TargetDim override the dimension is known up front and
+// only a truncated factorization runs (the randomized range-finder path
+// for large clusters). Otherwise the dimension is read off one
+// values-only factorization — whose spectrum both drives the gap estimate
+// and replaces the separate rank factorization the flat-spectrum fallback
+// used to pay for — before the truncated solve recovers the basis.
+func clusterBasis(sub *mat.Dense, opts LocalOptions) (*mat.Dense, int) {
 	n, cols := sub.Dims()
 	maxDim := n
 	if cols < maxDim {
 		maxDim = cols
 	}
-	if opts.TargetDim > 0 {
-		if opts.TargetDim < maxDim {
-			return opts.TargetDim
+	d := opts.TargetDim
+	if d > 0 {
+		if d > maxDim {
+			d = maxDim
 		}
-		return maxDim
+	} else {
+		d = dimFromSpectrum(mat.SingularValues(sub), maxDim, opts)
 	}
-	svd := mat.SVDFactor(sub)
-	s := svd.S
+	basis, _ := mat.TruncatedSVD(sub, d)
+	return basis, d
+}
+
+// dimFromSpectrum picks the subspace dimension d_t from a cluster's
+// singular-value spectrum (sorted descending). It detects the numerical
+// rank by the largest multiplicative gap — robust to the noise floor real
+// data puts under the true subspace spectrum (a fixed tolerance would
+// read the noise as extra dimensions). RankTol only marks where the
+// spectrum has decayed to negligible.
+func dimFromSpectrum(s []float64, maxDim int, opts LocalOptions) int {
 	if len(s) == 0 || s[0] <= 0 {
 		return 1
 	}
@@ -113,16 +124,22 @@ func estimateDim(sub *mat.Dense, opts LocalOptions) int {
 			best, bestRatio = i+1, ratio
 		}
 	}
-	// A gap below 2x is no gap at all (flat spectrum): treat the cluster
-	// as full-dimensional up to the data's span.
-	if bestRatio < 2 {
-		d := mat.NumericalRank(sub, 1e-9)
-		if d < 1 {
-			d = 1
-		}
-		return d
+	if bestRatio >= 2 {
+		return best
 	}
-	return best
+	// A gap below 2x is no gap at all (flat spectrum): treat the cluster
+	// as full-dimensional up to where the spectrum stays above the
+	// negligible-energy floor.
+	d := 0
+	for i := 0; i < len(s) && i < maxDim; i++ {
+		if s[i] > 1e-9*s[0] {
+			d++
+		}
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d
 }
 
 // sampleFromBasis draws θ = Uα/‖Uα‖₂ with α ~ N(0, I) (Eq. 5): a point

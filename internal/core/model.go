@@ -211,8 +211,7 @@ func GlobalBases(theta *mat.Dense, labels []int, l, targetDim int) ([]*mat.Dense
 			continue
 		}
 		sub := theta.SelectCols(members[g])
-		d := estimateDim(sub, LocalOptions{TargetDim: targetDim}.withDefaults())
-		basis, _ := mat.TruncatedSVD(sub, d)
+		basis, _ := clusterBasis(sub, LocalOptions{TargetDim: targetDim}.withDefaults())
 		bases[g] = basis
 		dims[g] = basis.Cols()
 	}

@@ -72,9 +72,11 @@ func Gram(g *mat.Dense, b []float64, lambda1, lambda2 float64, banned []int, opt
 		isBanned[i] = true
 	}
 	c := make([]float64, n)
-	// grad[j] tracks Σ_k G[j,k] c[k]; updated incrementally as
-	// coefficients move, so a coordinate step costs O(n) only when the
-	// coefficient actually changes.
+	// grad[j] tracks Σ_k G[j,k] c[k]. During inner sweeps it is maintained
+	// lazily: a coordinate step updates it only over the active set, so a
+	// changed coefficient costs O(|active|) rather than O(n). The inactive
+	// entries go stale, but they are only ever read by the KKT pass, which
+	// rebuilds the full gradient from the ~d nonzero coefficients first.
 	grad := make([]float64, n)
 	// Working-set strategy: coordinate descent only ever runs over a
 	// small active set; between inner solves a KKT pass over all n
@@ -105,7 +107,7 @@ func Gram(g *mat.Dense, b []float64, lambda1, lambda2 float64, banned []int, opt
 			d := nv - old
 			c[j] = nv
 			row := g.Row(j)
-			for k := 0; k < n; k++ {
+			for _, k := range active {
 				grad[k] += d * row[k]
 			}
 			if ad := math.Abs(d); ad > maxDelta {
@@ -113,6 +115,18 @@ func Gram(g *mat.Dense, b []float64, lambda1, lambda2 float64, banned []int, opt
 			}
 		}
 		return maxDelta
+	}
+	// refreshGrad rebuilds the full gradient G·c from the nonzero
+	// coefficients, restoring the entries the lazy sweeps let go stale.
+	refreshGrad := func() {
+		for k := range grad {
+			grad[k] = 0
+		}
+		for _, j := range active {
+			if cj := c[j]; cj != 0 {
+				mat.Axpy(cj, g.Row(j), grad)
+			}
+		}
 	}
 	// Seed with the strongest correlations, then let KKT passes admit
 	// the rest; admissions are capped per round so a high-correlation
@@ -126,6 +140,7 @@ func Gram(g *mat.Dense, b []float64, lambda1, lambda2 float64, banned []int, opt
 		}
 		var worst [growBy]viol
 		count := 0
+		refreshGrad()
 		for j := 0; j < n; j++ {
 			if isBanned[j] || inActive[j] {
 				continue

@@ -16,6 +16,12 @@ type Eigen struct {
 // SymEigen computes the full eigendecomposition of the symmetric matrix a
 // by Householder tridiagonalization followed by the implicit-shift QL
 // iteration. Only the lower triangle of a is read. a is not modified.
+//
+// The O(n³) inner kernels — the rank-two updates of the reduction and the
+// eigenvector rotations of the QL iteration — run as blocked row updates
+// across GOMAXPROCS workers; every parallel block owns a disjoint set of
+// rows and performs the same scalar operations in the same order as the
+// serial loop, so the result is identical regardless of scheduling.
 func SymEigen(a *Dense) Eigen {
 	n := a.Rows()
 	if a.Cols() != n {
@@ -46,94 +52,182 @@ func SymEigen(a *Dense) Eigen {
 // tred2 reduces the symmetric matrix z to tridiagonal form, accumulating
 // the orthogonal transform in z. On return d holds the diagonal and
 // e[1..n-1] the subdiagonal (e[0] = 0). This is the classical
-// Householder reduction (EISPACK TRED2).
+// Householder reduction (EISPACK TRED2) with the two O(n²)-per-step
+// kernels — the symmetric matrix-vector product and the rank-two
+// update — run as parallel blocked row updates.
 func tred2(z *Dense, d, e []float64) {
 	n := len(d)
 	for i := n - 1; i >= 1; i-- {
 		l := i - 1
+		zi := z.Row(i)
 		h, scale := 0.0, 0.0
 		if l > 0 {
 			for k := 0; k <= l; k++ {
-				scale += math.Abs(z.At(i, k))
+				scale += math.Abs(zi[k])
 			}
 			if scale == 0 {
-				e[i] = z.At(i, l)
+				e[i] = zi[l]
 			} else {
 				for k := 0; k <= l; k++ {
-					v := z.At(i, k) / scale
-					z.Set(i, k, v)
-					h += v * v
+					zi[k] /= scale
+					h += zi[k] * zi[k]
 				}
-				f := z.At(i, l)
+				f := zi[l]
 				g := math.Sqrt(h)
 				if f > 0 {
 					g = -g
 				}
 				e[i] = scale * g
 				h -= f * g
-				z.Set(i, l, f-g)
+				zi[l] = f - g
+				// e[j] ← (A v)_j / h over the lower triangle; rows are
+				// independent, so the block update is safe and exact.
+				lim := l + 1
+				Parallel(lim, lim*lim, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						zj := z.Row(j)
+						zj[i] = zi[j] / h
+						g := 0.0
+						for k := 0; k <= j; k++ {
+							g += zj[k] * zi[k]
+						}
+						for k := j + 1; k <= l; k++ {
+							g += z.Row(k)[j] * zi[k]
+						}
+						e[j] = g / h
+					}
+				})
 				f = 0.0
 				for j := 0; j <= l; j++ {
-					z.Set(j, i, z.At(i, j)/h)
-					g = 0.0
-					for k := 0; k <= j; k++ {
-						g += z.At(j, k) * z.At(i, k)
-					}
-					for k := j + 1; k <= l; k++ {
-						g += z.At(k, j) * z.At(i, k)
-					}
-					e[j] = g / h
-					f += e[j] * z.At(i, j)
+					f += e[j] * zi[j]
 				}
 				hh := f / (h + h)
 				for j := 0; j <= l; j++ {
-					f = z.At(i, j)
-					g = e[j] - hh*f
-					e[j] = g
-					for k := 0; k <= j; k++ {
-						z.Set(j, k, z.At(j, k)-f*e[k]-g*z.At(i, k))
-					}
+					e[j] -= hh * zi[j]
 				}
+				// Rank-two update A ← A − v wᵀ − w vᵀ on the lower
+				// triangle, blocked over rows.
+				Parallel(lim, lim*lim, func(lo, hi int) {
+					for j := lo; j < hi; j++ {
+						fj := zi[j]
+						gj := e[j]
+						zj := z.Row(j)
+						for k := 0; k <= j; k++ {
+							zj[k] = zj[k] - fj*e[k] - gj*zi[k]
+						}
+					}
+				})
 			}
 		} else {
-			e[i] = z.At(i, l)
+			e[i] = zi[l]
 		}
 		d[i] = h
 	}
 	d[0] = 0.0
 	e[0] = 0.0
+	// Accumulate the transform: for each reflector, a matrix-vector
+	// product against the already-accumulated block followed by a rank-one
+	// update, blocked over rows.
+	g := make([]float64, n)
 	for i := 0; i < n; i++ {
 		l := i - 1
+		zi := z.Row(i)
 		if d[i] != 0 {
-			for j := 0; j <= l; j++ {
-				g := 0.0
-				for k := 0; k <= l; k++ {
-					g += z.At(i, k) * z.At(k, j)
-				}
-				for k := 0; k <= l; k++ {
-					z.Set(k, j, z.At(k, j)-g*z.At(k, i))
+			lim := l + 1
+			for j := 0; j < lim; j++ {
+				g[j] = 0
+			}
+			for k := 0; k < lim; k++ {
+				zk := z.Row(k)
+				v := zi[k]
+				for j := 0; j < lim; j++ {
+					g[j] += v * zk[j]
 				}
 			}
+			Parallel(lim, lim*lim, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					zk := z.Row(k)
+					s := zk[i]
+					for j := 0; j < lim; j++ {
+						zk[j] -= g[j] * s
+					}
+				}
+			})
 		}
-		d[i] = z.At(i, i)
-		z.Set(i, i, 1.0)
+		d[i] = zi[i]
+		zi[i] = 1.0
 		for j := 0; j <= l; j++ {
-			z.Set(j, i, 0.0)
-			z.Set(i, j, 0.0)
+			z.Row(j)[i] = 0.0
+			zi[j] = 0.0
 		}
 	}
+}
+
+// planeRot is one Givens rotation of the QL iteration, acting on columns
+// i and i+1 of the eigenvector matrix.
+type planeRot struct {
+	i    int
+	s, c float64
+}
+
+// applyRots applies a buffered sequence of plane rotations to z. Each row
+// of z is updated independently with the rotations in buffer order, so
+// the work splits across workers by rows while performing exactly the
+// per-element operations of the eager column-by-column loop — and streams
+// contiguously over each row instead of striding down columns.
+func applyRots(z *Dense, rots []planeRot) {
+	if len(rots) == 0 {
+		return
+	}
+	n := z.Rows()
+	Parallel(n, n*len(rots)*6, func(lo, hi int) {
+		// Successive rotations overlap (rotation i reads the element
+		// rotation i+1 just wrote), so a single row is one long dependency
+		// chain. Four rows march through the rotation sequence together to
+		// give the pipeline independent work at each step.
+		k := lo
+		for ; k+3 < hi; k += 4 {
+			r0, r1, r2, r3 := z.Row(k), z.Row(k+1), z.Row(k+2), z.Row(k+3)
+			for _, r := range rots {
+				i, s, c := r.i, r.s, r.c
+				f0 := r0[i+1]
+				r0[i+1] = s*r0[i] + c*f0
+				r0[i] = c*r0[i] - s*f0
+				f1 := r1[i+1]
+				r1[i+1] = s*r1[i] + c*f1
+				r1[i] = c*r1[i] - s*f1
+				f2 := r2[i+1]
+				r2[i+1] = s*r2[i] + c*f2
+				r2[i] = c*r2[i] - s*f2
+				f3 := r3[i+1]
+				r3[i+1] = s*r3[i] + c*f3
+				r3[i] = c*r3[i] - s*f3
+			}
+		}
+		for ; k < hi; k++ {
+			row := z.Row(k)
+			for _, r := range rots {
+				f := row[r.i+1]
+				row[r.i+1] = r.s*row[r.i] + r.c*f
+				row[r.i] = r.c*row[r.i] - r.s*f
+			}
+		}
+	})
 }
 
 // tqli applies the implicit-shift QL iteration to the tridiagonal matrix
 // (d, e), accumulating eigenvectors into the columns of z (which must
 // contain the transform from tred2, or the identity for a tridiagonal
-// input). On return d holds the eigenvalues (unsorted).
+// input). On return d holds the eigenvalues (unsorted). The eigenvector
+// rotations of each QL step are buffered and applied as one blocked,
+// row-parallel pass (see applyRots).
 func tqli(d, e []float64, z *Dense) {
 	n := len(d)
 	for i := 1; i < n; i++ {
 		e[i-1] = e[i]
 	}
 	e[n-1] = 0.0
+	rots := make([]planeRot, 0, n)
 	for l := 0; l < n; l++ {
 		for iter := 0; ; iter++ {
 			var m int
@@ -161,6 +255,7 @@ func tqli(d, e []float64, z *Dense) {
 			g = d[m] - d[l] + e[l]/(g+sg)
 			s, c := 1.0, 1.0
 			p := 0.0
+			rots = rots[:0]
 			for i := m - 1; i >= l; i-- {
 				f := s * e[i]
 				b := c * e[i]
@@ -178,12 +273,9 @@ func tqli(d, e []float64, z *Dense) {
 				p = s * r
 				d[i+1] = g + p
 				g = c*r - b
-				for k := 0; k < n; k++ {
-					f = z.At(k, i+1)
-					z.Set(k, i+1, s*z.At(k, i)+c*f)
-					z.Set(k, i, c*z.At(k, i)-s*f)
-				}
+				rots = append(rots, planeRot{i: i, s: s, c: c})
 			}
+			applyRots(z, rots)
 			if r == 0 && m-1 >= l {
 				continue
 			}

@@ -43,33 +43,31 @@ func mulInto(out, a, b *Dense) {
 }
 
 // MulTA returns aᵀ*b as a new matrix without materializing the transpose.
+// Workers own disjoint blocks of output rows (columns of a), so the
+// reduction over a's rows needs no merge step, no scratch matrix and no
+// lock, and every output element accumulates in the same order as a
+// serial evaluation regardless of the worker count.
 func MulTA(a, b *Dense) *Dense {
 	if a.rows != b.rows {
 		panic("mat: MulTA dimension mismatch")
 	}
 	out := NewDense(a.cols, b.cols)
-	var mu sync.Mutex
 	work := a.rows * a.cols * b.cols
-	rowRange(a.rows, work, func(r0, r1 int) {
-		local := NewDense(a.cols, b.cols)
-		for k := r0; k < r1; k++ {
+	rowRange(a.cols, work, func(i0, i1 int) {
+		for k := 0; k < a.rows; k++ {
 			arow := a.Row(k)
 			brow := b.Row(k)
-			for i, av := range arow {
+			for i := i0; i < i1; i++ {
+				av := arow[i]
 				if av == 0 {
 					continue
 				}
-				lrow := local.Row(i)
+				orow := out.Row(i)
 				for j, bv := range brow {
-					lrow[j] += av * bv
+					orow[j] += av * bv
 				}
 			}
 		}
-		mu.Lock()
-		for i, v := range local.data {
-			out.data[i] += v
-		}
-		mu.Unlock()
 	})
 	return out
 }

@@ -12,79 +12,97 @@ type QR struct {
 
 // QRFactor computes the thin QR factorization of a (m >= n) by
 // Householder reflections. a is not modified.
+//
+// Internally the factorization runs on the transpose, so each column of a
+// is a contiguous row of the workspace: computing a reflector, applying
+// it to the trailing columns, and accumulating Q all stream over
+// contiguous memory instead of striding down column entries.
 func QRFactor(a *Dense) QR {
 	m, n := a.Dims()
 	if m < n {
 		panic("mat: QRFactor requires rows >= cols")
 	}
-	// Work on a copy; v-vectors are stored below the diagonal and the
-	// scalar factors in tau.
-	w := a.Clone()
+	// Row j of wt is column j of a; v-vectors are stored past the diagonal
+	// position of each row and the scalar factors in tau.
+	wt := a.T()
 	tau := make([]float64, n)
 	for k := 0; k < n; k++ {
 		// Compute the Householder vector for column k.
+		wk := wt.Row(k)
 		alpha := 0.0
 		for i := k; i < m; i++ {
-			v := w.At(i, k)
-			alpha += v * v
+			alpha += wk[i] * wk[i]
 		}
 		alpha = math.Sqrt(alpha)
 		if alpha == 0 {
 			tau[k] = 0
 			continue
 		}
-		if w.At(k, k) > 0 {
+		if wk[k] > 0 {
 			alpha = -alpha
 		}
 		// v = x - alpha*e1, normalized so v[k] = 1.
-		vkk := w.At(k, k) - alpha
+		vkk := wk[k] - alpha
 		for i := k + 1; i < m; i++ {
-			w.Set(i, k, w.At(i, k)/vkk)
+			wk[i] /= vkk
 		}
 		tau[k] = -vkk / alpha
-		w.Set(k, k, alpha)
-		// Apply the reflector to the trailing columns.
-		for j := k + 1; j < n; j++ {
-			s := w.At(k, j)
-			for i := k + 1; i < m; i++ {
-				s += w.At(i, k) * w.At(i, j)
+		wk[k] = alpha
+		// Apply the reflector to the trailing columns; each trailing
+		// column is updated independently, so the loop blocks across
+		// workers for wide factorizations.
+		tk := tau[k]
+		Parallel(n-k-1, (n-k)*(m-k)*2, func(lo, hi int) {
+			for j := k + 1 + lo; j < k+1+hi; j++ {
+				wj := wt.Row(j)
+				s := wj[k]
+				for i := k + 1; i < m; i++ {
+					s += wk[i] * wj[i]
+				}
+				s *= tk
+				wj[k] -= s
+				for i := k + 1; i < m; i++ {
+					wj[i] -= s * wk[i]
+				}
 			}
-			s *= tau[k]
-			w.Set(k, j, w.At(k, j)-s)
-			for i := k + 1; i < m; i++ {
-				w.Set(i, j, w.At(i, j)-s*w.At(i, k))
-			}
-		}
+		})
 	}
 	// Extract R.
 	r := NewDense(n, n)
 	for i := 0; i < n; i++ {
+		ri := r.Row(i)
 		for j := i; j < n; j++ {
-			r.Set(i, j, w.At(i, j))
+			ri[j] = wt.Row(j)[i]
 		}
 	}
-	// Accumulate Q by applying the reflectors to the identity (thin).
-	q := NewDense(m, n)
+	// Accumulate thin Q by applying the reflectors to the identity,
+	// also in transposed layout: row j of qt is column j of Q.
+	qt := NewDense(n, m)
 	for j := 0; j < n; j++ {
-		q.Set(j, j, 1)
+		qt.Row(j)[j] = 1
 	}
 	for k := n - 1; k >= 0; k-- {
 		if tau[k] == 0 {
 			continue
 		}
-		for j := 0; j < n; j++ {
-			s := q.At(k, j)
-			for i := k + 1; i < m; i++ {
-				s += w.At(i, k) * q.At(i, j)
+		wk := wt.Row(k)
+		tk := tau[k]
+		Parallel(n, n*(m-k)*2, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				qj := qt.Row(j)
+				s := qj[k]
+				for i := k + 1; i < m; i++ {
+					s += wk[i] * qj[i]
+				}
+				s *= tk
+				qj[k] -= s
+				for i := k + 1; i < m; i++ {
+					qj[i] -= s * wk[i]
+				}
 			}
-			s *= tau[k]
-			q.Set(k, j, q.At(k, j)-s)
-			for i := k + 1; i < m; i++ {
-				q.Set(i, j, q.At(i, j)-s*w.At(i, k))
-			}
-		}
+		})
 	}
-	return QR{Q: q, R: r}
+	return QR{Q: qt.T(), R: r}
 }
 
 // Orthonormalize returns a matrix with orthonormal columns spanning the

@@ -1,0 +1,175 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// gappedMatrix builds a = U diag(s) Vᵀ with orthonormal factors, so the
+// leading subspaces and singular values are known by construction.
+func gappedMatrix(m, n int, s []float64, rng *rand.Rand) *Dense {
+	r := len(s)
+	u := RandomOrthonormal(m, r, rng)
+	v := RandomOrthonormal(n, r, rng)
+	us := u.Clone()
+	for i := 0; i < m; i++ {
+		row := us.Row(i)
+		for j := range row {
+			row[j] *= s[j]
+		}
+	}
+	return MulBT(us, v)
+}
+
+// minPrincipalCosine returns the smallest canonical-angle cosine between
+// the column spans of the orthonormal bases u and v.
+func minPrincipalCosine(u, v *Dense) float64 {
+	sv := SingularValues(MulTA(u, v))
+	min := math.Inf(1)
+	for _, c := range sv {
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// gappedSpectrum returns k dominant values in [1, 2] followed by a tail
+// three orders of magnitude below, so the leading k-dimensional subspace
+// is decisively determined.
+func gappedSpectrum(k, total int) []float64 {
+	s := make([]float64, total)
+	for i := 0; i < k; i++ {
+		s[i] = 2 - float64(i)/float64(k)
+	}
+	for i := k; i < total; i++ {
+		s[i] = 1e-3 / float64(i-k+1)
+	}
+	return s
+}
+
+// TestTruncatedSVDMatchesExact checks the property the randomized range
+// finder must satisfy: on matrices with a spectral gap, its subspace and
+// singular values agree with the exact Jacobi factorization across tall,
+// wide and square shapes.
+func TestTruncatedSVDMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const k = 5
+	for _, shape := range []struct {
+		name string
+		m, n int
+	}{
+		{"tall", 120, 60},
+		{"wide", 60, 120},
+		{"square", 64, 64},
+	} {
+		r := shape.m
+		if shape.n < r {
+			r = shape.n
+		}
+		if r < randSVDMinDim || 2*(k+randSVDOversample) > r {
+			t.Fatalf("%s: shape does not exercise the randomized path", shape.name)
+		}
+		a := gappedMatrix(shape.m, shape.n, gappedSpectrum(k, r), rng)
+		u, s := TruncatedSVD(a, k)
+		exact := SVDFactor(a)
+		if u.Rows() != shape.m || u.Cols() != k || len(s) != k {
+			t.Fatalf("%s: got %dx%d basis, %d values", shape.name, u.Rows(), u.Cols(), len(s))
+		}
+		for j := 0; j < k; j++ {
+			if rel := math.Abs(s[j]-exact.S[j]) / exact.S[0]; rel > 1e-7 {
+				t.Errorf("%s: sigma_%d = %g, exact %g (rel err %g)", shape.name, j, s[j], exact.S[j], rel)
+			}
+		}
+		if cos := minPrincipalCosine(u, exact.U.SliceCols(0, k)); cos < 1-1e-7 {
+			t.Errorf("%s: worst principal cosine %g", shape.name, cos)
+		}
+		// The basis must be orthonormal on its own terms too.
+		gram := MulTA(u, u)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(gram.At(i, j)-want) > 1e-10 {
+					t.Fatalf("%s: UᵀU[%d,%d] = %g", shape.name, i, j, gram.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+// TestTruncatedSVDRankDeficient checks the randomized path on an exactly
+// rank-deficient matrix: the recovered subspace is the column space and
+// the trailing singular value estimates match the exact ones.
+func TestTruncatedSVDRankDeficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	const rank = 5
+	basis := RandomOrthonormal(100, rank, rng)
+	coef := RandomGaussian(rank, 40, rng)
+	a := Mul(basis, coef)
+	u, s := TruncatedSVD(a, rank)
+	if cos := minPrincipalCosine(u, basis); cos < 1-1e-9 {
+		t.Errorf("rank-deficient: worst principal cosine vs true basis %g", cos)
+	}
+	exact := SVDFactor(a)
+	for j := 0; j < rank; j++ {
+		if rel := math.Abs(s[j]-exact.S[j]) / exact.S[0]; rel > 1e-9 {
+			t.Errorf("rank-deficient: sigma_%d = %g, exact %g", j, s[j], exact.S[j])
+		}
+	}
+}
+
+// TestTruncatedSVDEdgeRanks covers the k extremes: k = 0 yields an empty
+// basis, and k = min(m, n) (where no sketch can be thinner than the
+// matrix) falls back to an exact factorization.
+func TestTruncatedSVDEdgeRanks(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := RandomGaussian(30, 12, rng)
+	u, s := TruncatedSVD(a, 0)
+	if u.Rows() != 30 || u.Cols() != 0 || len(s) != 0 {
+		t.Fatalf("k=0: got %dx%d basis, %d values", u.Rows(), u.Cols(), len(s))
+	}
+	u, s = TruncatedSVD(a, 12)
+	exact := SVDFactor(a)
+	if u.Cols() != 12 || len(s) != 12 {
+		t.Fatalf("k=min: got %d columns, %d values", u.Cols(), len(s))
+	}
+	for j := range s {
+		if rel := math.Abs(s[j]-exact.S[j]) / exact.S[0]; rel > 1e-10 {
+			t.Errorf("k=min: sigma_%d = %g, exact %g", j, s[j], exact.S[j])
+		}
+	}
+	if cos := minPrincipalCosine(u, exact.U); cos < 1-1e-9 {
+		t.Errorf("k=min: worst principal cosine %g", cos)
+	}
+	// Requests beyond min(m, n) clamp rather than panic.
+	u, s = TruncatedSVD(a, 40)
+	if u.Cols() != 12 || len(s) != 12 {
+		t.Fatalf("k>min: got %d columns, %d values", u.Cols(), len(s))
+	}
+}
+
+// TestTruncatedSVDDeterministic checks that the randomized path is a pure
+// function of its input: the sketch uses a fixed internal seed, so
+// repeated calls are bitwise identical — the property the federated
+// pipeline relies on for reproducible runs under a fixed top-level seed.
+func TestTruncatedSVDDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := gappedMatrix(90, 50, gappedSpectrum(6, 50), rng)
+	u1, s1 := TruncatedSVD(a, 6)
+	u2, s2 := TruncatedSVD(a, 6)
+	for j := range s1 {
+		if s1[j] != s2[j] {
+			t.Fatalf("sigma_%d differs across calls: %v vs %v", j, s1[j], s2[j])
+		}
+	}
+	d1, d2 := u1.Data(), u2.Data()
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("basis entry %d differs across calls: %v vs %v", i, d1[i], d2[i])
+		}
+	}
+}

@@ -1,7 +1,10 @@
 // Package pca implements principal component analysis by truncated SVD
 // of the centered data. It backs the k-FED + PCA-10 / PCA-100 baselines
 // of Tables III-IV, where each device projects its local high-dimensional
-// data before federated k-means.
+// data before federated k-means. For the k ≪ min(n, N) projections these
+// baselines use (PCA-10 on 1024-dimensional data), mat.TruncatedSVD
+// dispatches to its randomized range-finder path, so fitting costs
+// O(n·N·k) instead of a full O(min(n,N)³) factorization.
 package pca
 
 import "fedsc/internal/mat"

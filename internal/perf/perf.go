@@ -1,0 +1,164 @@
+// Package perf defines the tracked kernel benchmarks once, shared by the
+// `go test -bench` micro-benchmarks at the repository root and the
+// machine-readable harness behind `fedsc-bench -json` (`make bench-json`),
+// so the numbers recorded in BENCH_<label>.json across PRs and the numbers
+// developers see locally always come from the same code and inputs.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"fedsc/internal/core"
+	"fedsc/internal/mat"
+	"fedsc/internal/synth"
+)
+
+// LocalClusterAndSample measures one device's Phase 1 (the dominant
+// per-device cost: SSC + eigengap + truncated SVD + sampling).
+func LocalClusterAndSample(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := synth.RandomSubspaces(20, 5, 4, rng)
+	ds := s.SampleCounts([]int{20, 20, 0, 0}, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.LocalClusterAndSample(ds.X, core.LocalOptions{UseEigengap: true},
+			rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+// FedSCRound measures a complete one-shot round end to end.
+func FedSCRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	s := synth.RandomSubspaces(20, 5, 8, rng)
+	devices := make([]*mat.Dense, 40)
+	for dev := range devices {
+		clusters := rng.Perm(8)[:2]
+		counts := make([]int, 8)
+		for k := 0; k < 30; k++ {
+			counts[clusters[k%2]]++
+		}
+		devices[dev] = s.SampleCounts(counts, rng).X
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(devices, 8, core.Options{Local: core.LocalOptions{UseEigengap: true}},
+			rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+// SymEigen measures the dense symmetric eigendecomposition used by
+// spectral clustering and the eigengap estimate.
+func SymEigen(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := mat.RandomGaussian(200, 200, rng)
+	a := mat.MulTA(g, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.SymEigen(a)
+	}
+}
+
+// TruncatedSVD measures per-cluster basis recovery (the randomized
+// range-finder path: 128x60 input, k=5).
+func TruncatedSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	basis := mat.RandomOrthonormal(128, 5, rng)
+	coef := mat.RandomGaussian(5, 60, rng)
+	x := mat.Mul(basis, coef)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.TruncatedSVD(x, 5)
+	}
+}
+
+// MulTA measures the transposed product aᵀ*b that Gram-matrix formation
+// and the randomized SVD's projection step are built on.
+func MulTA(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	g := mat.RandomGaussian(200, 200, rng)
+	h := mat.RandomGaussian(200, 200, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.MulTA(g, h)
+	}
+}
+
+// Named pairs a stable benchmark name with its body. Names match the
+// root-level `Benchmark<Name>` functions.
+type Named struct {
+	Name string
+	F    func(*testing.B)
+}
+
+// Suite lists the tracked benchmarks in output order.
+func Suite() []Named {
+	return []Named{
+		{"TruncatedSVD", TruncatedSVD},
+		{"SymEigen", SymEigen},
+		{"MulTA", MulTA},
+		{"LocalClusterAndSample", LocalClusterAndSample},
+		{"FedSCRound", FedSCRound},
+	}
+}
+
+// Result is one benchmark's measurement in the JSON report.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Report is the schema of a BENCH_<label>.json file.
+type Report struct {
+	Label      string   `json:"label"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	CreatedAt  string   `json:"created_at"`
+	Results    []Result `json:"results"`
+}
+
+// RunSuite executes every tracked benchmark via testing.Benchmark and
+// returns the measurements in suite order.
+func RunSuite() []Result {
+	out := make([]Result, 0, len(Suite()))
+	for _, nb := range Suite() {
+		r := testing.Benchmark(nb.F)
+		out = append(out, Result{
+			Name:        nb.Name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			Iterations:  r.N,
+		})
+	}
+	return out
+}
+
+// WriteJSON writes the report for label to path (conventionally
+// BENCH_<label>.json in the repository root).
+func WriteJSON(path, label string, results []Result) error {
+	rep := Report{
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+		Results:    results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("perf: write report: %w", err)
+	}
+	return nil
+}

@@ -25,9 +25,9 @@ import (
 // (cos φ⁽¹⁾ ≥ cos φ⁽²⁾ ≥ …). They are the singular values of uᵀv.
 func PrincipalAngles(u, v *mat.Dense) []float64 {
 	prod := mat.MulTA(u, v)
-	svd := mat.SVDFactor(prod)
-	cos := make([]float64, len(svd.S))
-	for i, s := range svd.S {
+	sv := mat.SingularValues(prod)
+	cos := make([]float64, len(sv))
+	for i, s := range sv {
 		if s > 1 {
 			s = 1
 		}
