@@ -4,9 +4,9 @@ GO ?= go
 # Label naming the machine-readable benchmark report (BENCH_<label>.json).
 BENCH_LABEL ?= local
 
-.PHONY: check fmt vet build test race bench bench-json
+.PHONY: check fmt vet build test race lint bench bench-json
 
-check: fmt vet build race
+check: fmt vet lint build race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -25,6 +25,11 @@ test:
 # per-package test timeout under the race detector.
 race:
 	$(GO) test -short -race ./...
+
+# Project-specific static analysis: determinism, error-handling, and
+# connection-deadline contracts (see DESIGN.md "Determinism contract").
+lint:
+	$(GO) run ./cmd/fedsc-lint
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -1,0 +1,75 @@
+// fedsc-lint runs the project's static-analysis suite (internal/analysis)
+// over every package of the module: a stdlib-only analyzer driver
+// enforcing the determinism, error-handling, and deadline contracts the
+// one-shot protocol depends on.
+//
+// Usage:
+//
+//	fedsc-lint [-C dir] [-list] [analyzer ...]
+//
+// With no analyzer arguments the full suite runs. Exit status is 1
+// when findings are reported, 2 on a load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedsc/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "module root directory to analyze")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	analyzers, err := selectAnalyzers(flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags := analysis.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "fedsc-lint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(names []string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range names {
+		a := byName[name]
+		if a == nil {
+			return nil, fmt.Errorf("fedsc-lint: unknown analyzer %q (use -list)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}

@@ -127,7 +127,7 @@ func trainRound(addr string, clients, l int, central string, seed int64, dim str
 	if err != nil {
 		return nil, fmt.Errorf("listen %s: %w", addr, err)
 	}
-	defer ln.Close()
+	defer func() { _ = ln.Close() }()
 	log.Printf("fedsc-serve: waiting for %d devices on %s (L=%d, central=%s)", clients, ln.Addr(), l, central)
 	srv := &fednet.Server{
 		L:       l,

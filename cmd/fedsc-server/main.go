@@ -44,7 +44,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("fedsc-server: listen: %v", err)
 	}
-	defer ln.Close()
+	defer func() { _ = ln.Close() }()
 	log.Printf("fedsc-server: waiting for %d clients on %s (L=%d, central=%s)",
 		*clients, ln.Addr(), *l, *central)
 

@@ -1,0 +1,162 @@
+// Package analysis is a from-scratch static-analysis driver for the
+// fedsc module, built only on the standard library (go/parser, go/types,
+// go/token, go/importer — deliberately no golang.org/x/tools).
+//
+// Fed-SC is one-shot: a silent defect in aggregation or the network
+// layer corrupts the final clustering with no later round to recover,
+// and every experiment table depends on deterministic, seed-threaded
+// execution. The analyzers in this package encode those contracts as
+// machine-checked rules:
+//
+//	noglobalrand  all randomness flows through an injected *rand.Rand
+//	maporder      no order-dependent work inside map iteration
+//	floatcmp      no ==/!= between floating-point expressions
+//	errdrop       no silently dropped errors from Close/Encode/etc.
+//	ctxdeadline   conn I/O in fednet/serve is preceded by a deadline
+//
+// A finding can be suppressed for one line by a trailing or preceding
+// comment of the form
+//
+//	//fedsc:allow <analyzer> [reason]
+//
+// which is the audit trail for deliberate exceptions (e.g. an exact
+// floating-point sentinel comparison).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule. Run inspects a type-checked package via
+// the Pass and reports findings with Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the rule in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+	// Run executes the rule over a single package.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	allow  allowIndex
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos unless an allow directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.covers(position, p.Analyzer.Name) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// allowIndex maps file → line → analyzer names granted by
+// //fedsc:allow directives. A directive covers its own line and the
+// next one, so both trailing and standalone-comment styles work.
+type allowIndex map[string]map[int][]string
+
+func (ai allowIndex) covers(pos token.Position, analyzer string) bool {
+	lines := ai[pos.Filename]
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, name := range lines[line] {
+			if name == analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+const allowPrefix = "//fedsc:allow "
+
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+	ai := allowIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(c.Text, allowPrefix))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := ai[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					ai[pos.Filename] = lines
+				}
+				// Only the first field names the analyzer; the rest is a
+				// free-form reason.
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+			}
+		}
+	}
+	return ai
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position — output order never depends on map iteration.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				allow:     allow,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoGlobalRand, MapOrder, FloatCmp, ErrDrop, CtxDeadline}
+}

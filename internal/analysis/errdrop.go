@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop forbids silently discarding the error result of the I/O and
+// codec methods that fail in practice on a real network — exactly the
+// PR 1 bug class, where a dropped SetReadDeadline error turned a
+// misbehaving transport into a silent hang. A call like conn.Close()
+// or enc.Encode(v) used as a bare statement (or go/defer statement)
+// is flagged; handling the error or assigning it to _ explicitly
+// (`_ = conn.Close()`) records the decision and passes.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "forbid discarding error results from Close/SetDeadline/Encode/Write-style I/O methods",
+	Run:  runErrDrop,
+}
+
+// dropProne lists method names whose error result must not be
+// discarded. These are the io/net/encoding surface the fednet and
+// serve layers live on.
+var dropProne = map[string]bool{
+	"Close":            true,
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+	"Encode":           true,
+	"Decode":           true,
+	"Write":            true,
+	"WriteString":      true,
+	"ReadFrom":         true,
+	"WriteTo":          true,
+	"Flush":            true,
+	"Sync":             true,
+	"Shutdown":         true,
+}
+
+// neverFails lists receiver types whose Write-family methods are
+// documented to always return a nil error; flagging them would only
+// add noise.
+var neverFails = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"hash.Hash":       true,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !dropProne[sel.Sel.Name] {
+				return true
+			}
+			// Methods only: package functions like fmt.Fprintf have their
+			// own conventions and are left to go vet.
+			selection, ok := pass.TypesInfo.Selections[sel]
+			if !ok || selection.Kind() != types.MethodVal {
+				return true
+			}
+			if neverFails[derefName(selection.Recv())] {
+				return true
+			}
+			if !returnsError(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error from %s is silently dropped; handle it or assign to _ explicitly", types.ExprString(sel))
+			return true
+		})
+	}
+}
+
+func derefName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	}
+	return ""
+}
+
+// returnsError reports whether the call's last result is an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.Types[call].Type
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		if tuple.Len() == 0 {
+			return false
+		}
+		t = tuple.At(tuple.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the expected-diagnostic golden files")
+
+// fixtureLoader is shared across fixture tests so the standard library
+// is resolved once per test binary.
+var fixtureLoader = struct {
+	sync.Mutex
+	l *Loader
+}{}
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	fixtureLoader.Lock()
+	defer fixtureLoader.Unlock()
+	if fixtureLoader.l == nil {
+		l, err := NewLoader(filepath.Join("..", ".."))
+		if err != nil {
+			t.Fatalf("loader: %v", err)
+		}
+		fixtureLoader.l = l
+	}
+	return fixtureLoader.l
+}
+
+// TestFixtures runs each analyzer over its fixture package and compares
+// the rendered diagnostics against the golden file. The fixtures mix
+// positive (Bad*) and negative (Good*) functions, so the golden file
+// asserts both that violations are reported and that the sanctioned
+// patterns stay silent.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			loader := sharedLoader(t)
+			dir := filepath.Join("testdata", "src", a.Name)
+			pkg, err := loader.LoadDir(dir, a.Name)
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			diags := Run([]*Package{pkg}, []*Analyzer{a})
+			got := renderRelative(t, diags)
+			goldenPath := filepath.Join("testdata", a.Name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics diverge from %s (run with -update to accept)\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// renderRelative formats diagnostics with paths relative to this
+// package directory so golden files are machine-independent.
+func renderRelative(t *testing.T, diags []Diagnostic) string {
+	t.Helper()
+	here, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		rel, err := filepath.Rel(here, d.Pos.Filename)
+		if err != nil {
+			rel = d.Pos.Filename
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s\n", filepath.ToSlash(rel), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	return b.String()
+}
+
+// TestFixturesHaveFindings guards against a silently broken analyzer:
+// every fixture package contains Bad* functions, so an empty golden
+// file can only mean the analyzer stopped seeing them.
+func TestFixturesHaveFindings(t *testing.T) {
+	for _, a := range All() {
+		data, err := os.ReadFile(filepath.Join("testdata", a.Name+".golden"))
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if len(strings.TrimSpace(string(data))) == 0 {
+			t.Errorf("%s: golden file is empty — the analyzer no longer fires on its own fixtures", a.Name)
+		}
+	}
+}
+
+// TestAllowDirective pins the suppression mechanics: the directive
+// silences exactly the named analyzer on its own line.
+func TestAllowDirective(t *testing.T) {
+	loader := sharedLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "floatcmp"), "floatcmp-directive")
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{FloatCmp})
+	for _, d := range diags {
+		line := diagLineText(t, d)
+		if strings.Contains(line, "fedsc:allow") {
+			t.Errorf("directive did not suppress: %s", d)
+		}
+	}
+}
+
+func diagLineText(t *testing.T, d Diagnostic) string {
+	t.Helper()
+	data, err := os.ReadFile(d.Pos.Filename)
+	if err != nil {
+		t.Fatalf("read %s: %v", d.Pos.Filename, err)
+	}
+	lines := strings.Split(string(data), "\n")
+	if d.Pos.Line-1 < len(lines) {
+		return lines[d.Pos.Line-1]
+	}
+	return ""
+}

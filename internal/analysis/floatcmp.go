@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids ==/!= between floating-point expressions. Exact
+// float equality silently depends on rounding order, which the mat
+// kernels deliberately change between exact and randomized paths;
+// results that hinge on it are not reproducible across refactors.
+// Allowed without annotation: the x != x NaN idiom and comparisons
+// against the exact sentinels math.Inf / math.MaxFloat64 /
+// math.SmallestNonzeroFloat64, which are preserved bit-exactly.
+// Deliberate exact-zero sentinels must carry a //fedsc:allow floatcmp
+// directive with a reason.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid ==/!= between floating-point expressions outside exact-sentinel comparisons",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cmp, ok := n.(*ast.BinaryExpr)
+			if !ok || (cmp.Op != token.EQL && cmp.Op != token.NEQ) {
+				return true
+			}
+			tx := pass.TypesInfo.Types[cmp.X]
+			ty := pass.TypesInfo.Types[cmp.Y]
+			if !isFloat(tx.Type) && !isFloat(ty.Type) {
+				return true
+			}
+			// Both sides constant: folded at compile time, nothing can
+			// drift at run time.
+			if tx.Value != nil && ty.Value != nil {
+				return true
+			}
+			// x != x / x == x: the NaN self-comparison idiom.
+			if types.ExprString(cmp.X) == types.ExprString(cmp.Y) {
+				return true
+			}
+			if isExactSentinel(pass, cmp.X) || isExactSentinel(pass, cmp.Y) {
+				return true
+			}
+			pass.Reportf(cmp.Pos(),
+				"floating-point %s comparison; use a tolerance (math.Abs(a-b) <= eps) or annotate an exact sentinel with //fedsc:allow floatcmp", cmp.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isExactSentinel recognizes operands that are exact by construction:
+// math.Inf(±1) and the extreme finite constants, which survive every
+// arithmetic-free copy bit-for-bit.
+func isExactSentinel(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		return isMathSelector(pass, e.Fun, "Inf")
+	case *ast.SelectorExpr:
+		return isMathSelector(pass, e, "MaxFloat64", "MaxFloat32", "SmallestNonzeroFloat64", "SmallestNonzeroFloat32")
+	case *ast.UnaryExpr:
+		return isExactSentinel(pass, e.X)
+	case *ast.ParenExpr:
+		return isExactSentinel(pass, e.X)
+	}
+	return false
+}
+
+func isMathSelector(pass *Pass, e ast.Expr, names ...string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "math" {
+		return false
+	}
+	for _, name := range names {
+		if sel.Sel.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder enforces the determinism half of the reproducibility
+// contract that seeding alone cannot give: Go randomizes map iteration
+// order, so any order-sensitive work inside `for ... range m` where m
+// is a map yields run-to-run different results even with a fixed seed.
+// Four order-sensitive shapes are flagged:
+//
+//  1. appending map keys/values to an outer slice that is never sorted
+//     afterwards in the same function (collect-then-sort is the
+//     sanctioned pattern and passes);
+//  2. writing output (fmt.Fprint*/Print* or Write/Encode-style method
+//     calls) directly from inside the loop;
+//  3. compound floating-point accumulation (s += v and friends) —
+//     float addition is not associative, so the reduction value
+//     depends on visit order;
+//  4. argmax/argmin selection (`if v > best { best, arg = v, k }`)
+//     without a deterministic key tie-break — on ties the winner is
+//     whichever key the runtime happens to visit first. A condition
+//     that also references the key (e.g. `v > bestV || (v == bestV &&
+//     k < bestK)`) passes.
+//
+// Integer accumulation and pure lookups are order-insensitive and are
+// not flagged.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-dependent work inside map iteration",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fn.Body)
+		}
+	}
+}
+
+// checkMapRanges inspects one function body (closures included — a
+// closure shares its enclosing function's visit order).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	sortCalls := collectSortCalls(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.Types[rng.X].Type
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, rng, sortCalls)
+		return true
+	})
+}
+
+// collectSortCalls records, per slice object, the positions where it
+// is passed to a sort.*/slices.* call; a later sort launders the
+// nondeterministic append order.
+func collectSortCalls(pass *Pass, body *ast.BlockStmt) map[types.Object][]token.Pos {
+	calls := map[types.Object][]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		if p := pn.Imported().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[arg]; obj != nil {
+				calls[obj] = append(calls[obj], call.Pos())
+			}
+		}
+		return true
+	})
+	return calls
+}
+
+func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, sortCalls map[types.Object][]token.Pos) {
+	keyObj := identObject(pass, rng.Key)
+	valObj := identObject(pass, rng.Value)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, rng, n, sortCalls)
+		case *ast.CallExpr:
+			checkOutputCall(pass, n)
+		case *ast.IfStmt:
+			checkSelection(pass, n, keyObj, valObj)
+		}
+		return true
+	})
+}
+
+func identObject(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+// checkAssign flags unsorted appends to outer slices (shape 1) and
+// floating-point compound accumulation (shape 3).
+func checkAssign(pass *Pass, rng *ast.RangeStmt, stmt *ast.AssignStmt, sortCalls map[types.Object][]token.Pos) {
+	switch stmt.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(stmt.Lhs) == 1 && isFloat(pass.TypesInfo.Types[stmt.Lhs[0]].Type) {
+			pass.Reportf(stmt.Pos(),
+				"floating-point accumulation inside map iteration is order-dependent; iterate sorted keys")
+		}
+		return
+	case token.ASSIGN:
+	default:
+		return
+	}
+	for i, rhs := range stmt.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" || pass.TypesInfo.Uses[fun] != types.Universe.Lookup("append") {
+			continue
+		}
+		if i >= len(stmt.Lhs) {
+			continue
+		}
+		target := identObject(pass, stmt.Lhs[i])
+		if target == nil || target.Pos() >= rng.Pos() {
+			// Declared inside the loop: its lifetime ends with the
+			// iteration, so cross-iteration order cannot leak out here.
+			continue
+		}
+		if sortedAfter(sortCalls[target], rng.End()) {
+			continue
+		}
+		pass.Reportf(stmt.Pos(),
+			"append to %s inside map iteration without sorting afterwards; results depend on map order", target.Name())
+	}
+}
+
+func sortedAfter(positions []token.Pos, after token.Pos) bool {
+	for _, pos := range positions {
+		if pos >= after {
+			return true
+		}
+	}
+	return false
+}
+
+// checkOutputCall flags writes emitted from inside the loop (shape 2):
+// fmt print-family package calls and Write/Encode-style method calls.
+func checkOutputCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" &&
+				(strings.HasPrefix(sel.Sel.Name, "Print") || strings.HasPrefix(sel.Sel.Name, "Fprint")) {
+				pass.Reportf(call.Pos(), "fmt.%s inside map iteration emits output in nondeterministic order", sel.Sel.Name)
+			}
+			return
+		}
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		pass.Reportf(call.Pos(), "%s inside map iteration writes in nondeterministic order", types.ExprString(sel))
+	}
+}
+
+// checkSelection flags order-dependent argmax/argmin (shape 4): a
+// comparison on the range value guarding an assignment that captures
+// the range key, with no key reference in the condition to break ties.
+func checkSelection(pass *Pass, ifStmt *ast.IfStmt, keyObj, valObj types.Object) {
+	if keyObj == nil || valObj == nil {
+		return
+	}
+	comparesVal := false
+	ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch b.Op {
+		case token.GTR, token.LSS, token.GEQ, token.LEQ:
+			if usesObject(pass, b.X, valObj) || usesObject(pass, b.Y, valObj) {
+				comparesVal = true
+			}
+		}
+		return true
+	})
+	if !comparesVal {
+		return
+	}
+	// A key reference anywhere in the condition is taken as a
+	// deterministic tie-break.
+	if usesObject(pass, ifStmt.Cond, keyObj) {
+		return
+	}
+	capturesKey := false
+	ast.Inspect(ifStmt.Body, func(n ast.Node) bool {
+		if stmt, ok := n.(*ast.AssignStmt); ok {
+			for _, rhs := range stmt.Rhs {
+				if usesObject(pass, rhs, keyObj) {
+					capturesKey = true
+				}
+			}
+		}
+		return true
+	})
+	if !capturesKey {
+		return
+	}
+	pass.Reportf(ifStmt.Pos(),
+		"selection over map iteration resolves ties by map order; add a key tie-break to the condition or iterate sorted keys")
+}
+
+func usesObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoGlobalRand enforces the repo-wide randomness contract: every
+// stochastic choice (sampling columns, k-means seeding, synthetic data)
+// flows through an injected, seeded *rand.Rand so a run is reproduced
+// exactly by its seed. Calls to the process-global math/rand source
+// (rand.Intn, rand.Float64, rand.Perm, rand.Shuffle, ...) break that —
+// they share hidden state across call sites and goroutines. Only the
+// constructors used to build an injected generator are allowed.
+var NoGlobalRand = &Analyzer{
+	Name: "noglobalrand",
+	Doc:  "forbid calls to the global math/rand source; thread a seeded *rand.Rand instead",
+	Run:  runNoGlobalRand,
+}
+
+// randConstructors build a local generator rather than touching the
+// global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runNoGlobalRand(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if randConstructors[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"call to global rand.%s; all randomness must flow through an injected seeded *rand.Rand", sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoIsClean is the driver test the Makefile's lint target mirrors:
+// the whole module loads, type-checks, and produces zero findings. Any
+// new violation fails CI here and in `make lint`.
+func TestRepoIsClean(t *testing.T) {
+	loader := sharedLoader(t)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; the walker is missing module packages", len(pkgs))
+	}
+	found := false
+	for _, pkg := range pkgs {
+		if pkg.Path == "fedsc/internal/analysis" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("the analysis package did not analyze itself")
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Fatalf("%d finding(s); the tree must stay lint-clean", len(diags))
+	}
+}
+
+// TestLoaderResolvesModuleImports pins the loader's two import planes:
+// module-internal packages come from the source tree, the standard
+// library from go/importer.
+func TestLoaderResolvesModuleImports(t *testing.T) {
+	loader := sharedLoader(t)
+	if loader.ModulePath != "fedsc" {
+		t.Fatalf("module path = %q, want fedsc", loader.ModulePath)
+	}
+	pkg, err := loader.loadModulePackage("fedsc/internal/fednet")
+	if err != nil {
+		t.Fatalf("load fednet: %v", err)
+	}
+	imports := map[string]bool{}
+	for _, imp := range pkg.Types.Imports() {
+		imports[imp.Path()] = true
+	}
+	for _, want := range []string{"net", "encoding/gob", "fedsc/internal/core"} {
+		if !imports[want] {
+			t.Errorf("fednet should import %s; got %v", want, pkg.Types.Imports())
+		}
+	}
+	if !strings.HasSuffix(filepath.ToSlash(pkg.Dir), "internal/fednet") {
+		t.Errorf("unexpected package dir %s", pkg.Dir)
+	}
+}

@@ -1,0 +1,50 @@
+// Package ctxdeadline is the fixture for the ctxdeadline analyzer:
+// positive cases perform conn I/O without an earlier deadline decision
+// in the same function; negative cases set a deadline first — or
+// explicitly clear one, which also counts as a decision.
+package ctxdeadline
+
+import (
+	"encoding/gob"
+	"net"
+	"time"
+)
+
+// BadDirect reads with no deadline decision at all.
+func BadDirect(conn net.Conn, buf []byte) (int, error) {
+	return conn.Read(buf)
+}
+
+// BadWrap hands the conn to a codec with no deadline decision.
+func BadWrap(conn net.Conn, v any) error {
+	return gob.NewEncoder(conn).Encode(v)
+}
+
+// BadWrongDirection bounds writes but then blocks on a read.
+func BadWrongDirection(conn net.Conn, buf []byte) (int, error) {
+	if err := conn.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return conn.Read(buf)
+}
+
+// GoodDirect decides the read budget before reading.
+func GoodDirect(conn net.Conn, buf []byte) (int, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return conn.Read(buf)
+}
+
+// GoodExplicitNoDeadline declares the unbounded wait deliberately.
+func GoodExplicitNoDeadline(conn net.Conn, v any) error {
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return err
+	}
+	return gob.NewDecoder(conn).Decode(v)
+}
+
+// GoodPlainReader is out of scope: the reader cannot carry deadlines.
+func GoodPlainReader(r interface{ Read([]byte) (int, error) }, buf []byte) (int, error) {
+	return r.Read(buf)
+}

@@ -1,0 +1,34 @@
+// Package errdrop is the fixture for the errdrop analyzer: positive
+// cases discard the error of an I/O or codec method by using the call
+// as a bare statement; negative cases handle it or discard explicitly.
+package errdrop
+
+import (
+	"encoding/gob"
+	"net"
+	"strings"
+	"time"
+)
+
+// Bad drops errors in all three statement forms.
+func Bad(conn net.Conn, enc *gob.Encoder, v any) {
+	enc.Encode(v)
+	go conn.SetDeadline(time.Time{})
+	defer conn.Close()
+}
+
+// Good handles or explicitly discards every error.
+func Good(conn net.Conn, enc *gob.Encoder, v any) error {
+	if err := enc.Encode(v); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	return conn.Close()
+}
+
+// GoodBuilder writes to a sink documented never to fail.
+func GoodBuilder() string {
+	var b strings.Builder
+	b.WriteString("x")
+	return b.String()
+}

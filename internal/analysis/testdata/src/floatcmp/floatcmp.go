@@ -1,0 +1,51 @@
+// Package floatcmp is the fixture for the floatcmp analyzer: positive
+// cases compare floats with ==/!=, negative cases use tolerances, the
+// NaN idiom, exact sentinels, or an allow directive.
+package floatcmp
+
+import "math"
+
+// BadEqual compares two computed floats exactly.
+func BadEqual(a, b float64) bool {
+	return a == b
+}
+
+// BadZero compares against a zero literal.
+func BadZero(x float64) bool {
+	return x != 0
+}
+
+// BadFloat32 covers the 32-bit type.
+func BadFloat32(x float32) bool {
+	return x == 1.5
+}
+
+// GoodNaN is the self-comparison NaN idiom.
+func GoodNaN(x float64) bool {
+	return x != x
+}
+
+// GoodInf compares against an exact infinity sentinel.
+func GoodInf(x float64) bool {
+	return x == math.Inf(1)
+}
+
+// GoodMax compares against an exact extreme-value sentinel.
+func GoodMax(x float64) bool {
+	return x == math.MaxFloat64
+}
+
+// GoodTolerance is the recommended fix.
+func GoodTolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+// GoodAllowed documents a deliberate exact sentinel.
+func GoodAllowed(x float64) bool {
+	return x == 0 //fedsc:allow floatcmp fixture: deliberate exact sentinel
+}
+
+// GoodInts is out of scope: integers compare exactly.
+func GoodInts(a, b int) bool {
+	return a == b
+}

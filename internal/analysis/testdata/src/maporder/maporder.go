@@ -1,0 +1,84 @@
+// Package maporder is the fixture for the maporder analyzer: each Bad
+// function exhibits one order-dependent shape inside map iteration;
+// each Good function shows the sanctioned deterministic counterpart.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BadAppend collects keys in visit order and never sorts them.
+func BadAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// GoodAppendSorted is the collect-then-sort pattern.
+func GoodAppendSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// BadPrint emits output in visit order.
+func BadPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// BadFloatSum accumulates floats, which do not add associatively.
+func BadFloatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// GoodIntSum is fine: integer addition commutes exactly.
+func GoodIntSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// BadArgmax resolves ties by whichever key the runtime visits first.
+func BadArgmax(m map[int]int) int {
+	best, bestN := 0, -1
+	for k, v := range m {
+		if v > bestN {
+			best, bestN = k, v
+		}
+	}
+	return best
+}
+
+// GoodArgmax breaks ties on the key, so the winner is order-free.
+func GoodArgmax(m map[int]int) int {
+	best, bestN := 0, -1
+	for k, v := range m {
+		if v > bestN || (v == bestN && k < best) {
+			best, bestN = k, v
+		}
+	}
+	return best
+}
+
+// GoodLookup only reads; no order can leak.
+func GoodLookup(m map[string]int, keys []string) int {
+	total := 0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}

@@ -1,0 +1,27 @@
+// Package noglobalrand is the fixture for the noglobalrand analyzer:
+// positive cases touch the process-global math/rand source, negative
+// cases thread an injected *rand.Rand or build one via the allowed
+// constructors.
+package noglobalrand
+
+import "math/rand"
+
+// Bad draws from the global source twice; both calls are findings.
+func Bad(n int) int {
+	rand.Shuffle(n, func(i, j int) {})
+	return rand.Intn(n)
+}
+
+// BadFloat covers a different global entry point.
+func BadFloat() float64 {
+	return rand.Float64()
+}
+
+// Good uses only the injected generator and the allowed constructors.
+func Good(rng *rand.Rand, n int) int {
+	local := rand.New(rand.NewSource(42))
+	if local.Float64() < 0.5 {
+		return rng.Intn(n)
+	}
+	return rng.Perm(n)[0]
+}

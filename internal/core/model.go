@@ -162,11 +162,11 @@ func (m *Model) Save(path string) error {
 	defer os.Remove(tmp.Name())
 	var buf bytes.Buffer
 	if err := m.Encode(&buf); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return err
 	}
 	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return fmt.Errorf("core: save model: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -184,7 +184,8 @@ func LoadModel(path string) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: load model: %w", err)
 	}
-	defer f.Close()
+	// Read-only descriptor: Close cannot lose data.
+	defer func() { _ = f.Close() }()
 	return DecodeModel(f)
 }
 

@@ -101,7 +101,9 @@ func Aggregate(devices []*mat.Dense, locals []LocalResult, l int, opts Options, 
 			}
 			best, bestN := 0, -1
 			for lab, n := range votes {
-				if n > bestN {
+				// Lowest label wins ties so the majority vote never
+				// depends on map iteration order.
+				if n > bestN || (n == bestN && lab < best) {
 					best, bestN = lab, n
 				}
 			}

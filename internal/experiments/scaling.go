@@ -65,7 +65,9 @@ func loglogSlope(x, y []float64) float64 {
 		n++
 	}
 	den := n*sxx - sx*sx
-	if den == 0 {
+	// A (near-)collinear abscissa makes the slope meaningless; an exact
+	// zero test would still divide by rounding residue.
+	if math.Abs(den) <= 1e-12*(1+math.Abs(n*sxx)) {
 		return 0
 	}
 	return (n*sxy - sx*sy) / den

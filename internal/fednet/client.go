@@ -5,10 +5,27 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"time"
 
 	"fedsc/internal/core"
 	"fedsc/internal/mat"
 )
+
+// IOTimeout bounds each network operation of the client protocol: the
+// upload write and the reply read each get this budget. The reply wait
+// covers the server-side central clustering, so the default is
+// generous. Non-positive means no deadline — the pre-deadline
+// behaviour, which risks blocking forever on a hung server.
+var IOTimeout = 2 * time.Minute
+
+// ioDeadline converts IOTimeout into an absolute deadline; the zero
+// time explicitly clears any previous deadline.
+func ioDeadline() time.Time {
+	if IOTimeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(IOTimeout)
+}
 
 // ClientResult is the outcome of one device's participation in a round.
 type ClientResult struct {
@@ -25,7 +42,9 @@ type ClientResult struct {
 // uplink message, one downlink message, Phase 3 locally. The connection
 // is closed before returning.
 func RunClient(conn net.Conn, deviceID int, x *mat.Dense, local core.LocalOptions, rng *rand.Rand) (ClientResult, error) {
-	defer conn.Close()
+	// The protocol is one-shot: a Close error after a complete exchange
+	// changes nothing the client can act on.
+	defer func() { _ = conn.Close() }()
 	lr := core.LocalClusterAndSample(x, local, rng)
 	rows, cols := lr.Samples.Dims()
 	upload := SampleUpload{
@@ -34,8 +53,14 @@ func RunClient(conn net.Conn, deviceID int, x *mat.Dense, local core.LocalOption
 		Cols:     cols,
 		Data:     lr.Samples.Data(),
 	}
+	if err := conn.SetWriteDeadline(ioDeadline()); err != nil {
+		return ClientResult{}, fmt.Errorf("fednet: device %d set write deadline: %w", deviceID, err)
+	}
 	if err := gob.NewEncoder(conn).Encode(upload); err != nil {
 		return ClientResult{}, fmt.Errorf("fednet: device %d upload: %w", deviceID, err)
+	}
+	if err := conn.SetReadDeadline(ioDeadline()); err != nil {
+		return ClientResult{}, fmt.Errorf("fednet: device %d set read deadline: %w", deviceID, err)
 	}
 	var reply AssignmentReply
 	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
@@ -63,7 +88,9 @@ func RunClient(conn net.Conn, deviceID int, x *mat.Dense, local core.LocalOption
 		}
 		best, bestN := 0, -1
 		for lab, n := range votes {
-			if n > bestN {
+			// Lowest label wins ties so the majority vote never depends
+			// on map iteration order.
+			if n > bestN || (n == bestN && lab < best) {
 				best, bestN = lab, n
 			}
 		}

@@ -106,7 +106,9 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 			select {
 			case accepted <- conn:
 			case <-done:
-				conn.Close()
+				// The round is over; a Close error on a refused late
+				// connection has no one left to report to.
+				_ = conn.Close()
 				return
 			}
 		}
@@ -114,14 +116,25 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 	var timeout <-chan time.Time
 	abort := func() {
 		for _, c := range clients {
-			c.conn.Close()
+			// Aborting the round: the devices see the broken pipe; their
+			// Close errors carry no additional signal.
+			_ = c.conn.Close()
 		}
 	}
 collect:
 	for len(clients) < s.Expect {
 		select {
 		case conn := <-accepted:
-			c := &clientState{conn: conn, enc: gob.NewEncoder(conn)}
+			c := &clientState{conn: conn}
+			// Strict mode waits for every device by design; make that
+			// unbounded read an explicit deadline decision (clearing it)
+			// so the wire contract is machine-checkable, and surface
+			// transports that reject deadlines — they can never be
+			// bounded by the straggler grace period either.
+			if err := conn.SetReadDeadline(time.Time{}); err != nil {
+				c.deadlineErr = fmt.Errorf("fednet: set read deadline: %w", err)
+			}
+			c.enc = gob.NewEncoder(conn)
 			clients = append(clients, c)
 			wg.Add(1)
 			go func() {
@@ -224,7 +237,9 @@ collect:
 		if err := c.enc.Encode(reply); err != nil && c.err == nil {
 			c.err = fmt.Errorf("fednet: reply to device %d: %w", c.upload.DeviceID, err)
 		}
-		c.conn.Close()
+		if err := c.conn.Close(); err != nil && c.err == nil {
+			c.err = fmt.Errorf("fednet: close device %d: %w", c.upload.DeviceID, err)
+		}
 	}
 	stats := ServeStats{UplinkBytes: counter.total(), Samples: total, Devices: len(clients), Model: exported}
 	valid := 0

@@ -101,7 +101,10 @@ func Gram(g *mat.Dense, b []float64, lambda1, lambda2 float64, banned []int, opt
 			}
 			rho := b[j] - (grad[j] - gjj*old)
 			nv := SoftThreshold(rho, lambda1) / (gjj + lambda2)
-			if nv == old {
+			// Skip updates below relative rounding noise; exact equality
+			// would make the skip depend on the bit pattern of the last
+			// arithmetic step.
+			if math.Abs(nv-old) <= 1e-15*(1+math.Abs(old)) {
 				continue
 			}
 			d := nv - old
@@ -123,7 +126,7 @@ func Gram(g *mat.Dense, b []float64, lambda1, lambda2 float64, banned []int, opt
 			grad[k] = 0
 		}
 		for _, j := range active {
-			if cj := c[j]; cj != 0 {
+			if cj := c[j]; cj != 0 { //fedsc:allow floatcmp SoftThreshold produces exact zeros; this is a sparsity skip
 				mat.Axpy(cj, g.Row(j), grad)
 			}
 		}

@@ -65,7 +65,7 @@ func tred2(z *Dense, d, e []float64) {
 			for k := 0; k <= l; k++ {
 				scale += math.Abs(zi[k])
 			}
-			if scale == 0 {
+			if scale == 0 { //fedsc:allow floatcmp sum of |entries| is exactly zero iff the row is exactly zero
 				e[i] = zi[l]
 			} else {
 				for k := 0; k <= l; k++ {
@@ -132,7 +132,7 @@ func tred2(z *Dense, d, e []float64) {
 	for i := 0; i < n; i++ {
 		l := i - 1
 		zi := z.Row(i)
-		if d[i] != 0 {
+		if d[i] != 0 { //fedsc:allow floatcmp tred2 writes an exact 0 to mark a skipped transform
 			lim := l + 1
 			for j := 0; j < lim; j++ {
 				g[j] = 0
@@ -261,7 +261,7 @@ func tqli(d, e []float64, z *Dense) {
 				b := c * e[i]
 				r = math.Hypot(f, g)
 				e[i+1] = r
-				if r == 0 {
+				if r == 0 { //fedsc:allow floatcmp hypot underflow sentinel from the QL recurrence
 					d[i+1] -= p
 					e[m] = 0.0
 					break
@@ -276,7 +276,7 @@ func tqli(d, e []float64, z *Dense) {
 				rots = append(rots, planeRot{i: i, s: s, c: c})
 			}
 			applyRots(z, rots)
-			if r == 0 && m-1 >= l {
+			if r == 0 && m-1 >= l { //fedsc:allow floatcmp hypot underflow sentinel from the QL recurrence
 				continue
 			}
 			d[l] -= p

@@ -30,6 +30,7 @@ func mulInto(out, a, b *Dense) {
 			arow := a.Row(i)
 			orow := out.Row(i)
 			for k, av := range arow {
+				//fedsc:allow floatcmp sparsity skip: exact zeros contribute nothing
 				if av == 0 {
 					continue
 				}
@@ -59,6 +60,7 @@ func MulTA(a, b *Dense) *Dense {
 			brow := b.Row(k)
 			for i := i0; i < i1; i++ {
 				av := arow[i]
+				//fedsc:allow floatcmp sparsity skip: exact zeros contribute nothing
 				if av == 0 {
 					continue
 				}
@@ -115,7 +117,7 @@ func MulTVec(m *Dense, x []float64) []float64 {
 	for i := 0; i < m.rows; i++ {
 		row := m.Row(i)
 		xi := x[i]
-		if xi == 0 {
+		if xi == 0 { //fedsc:allow floatcmp sparsity skip: exact zeros contribute nothing
 			continue
 		}
 		for j, v := range row {

@@ -34,7 +34,7 @@ func QRFactor(a *Dense) QR {
 			alpha += wk[i] * wk[i]
 		}
 		alpha = math.Sqrt(alpha)
-		if alpha == 0 {
+		if alpha == 0 { //fedsc:allow floatcmp column norm is exactly zero iff the column is exactly zero
 			tau[k] = 0
 			continue
 		}
@@ -82,7 +82,7 @@ func QRFactor(a *Dense) QR {
 		qt.Row(j)[j] = 1
 	}
 	for k := n - 1; k >= 0; k-- {
-		if tau[k] == 0 {
+		if tau[k] == 0 { //fedsc:allow floatcmp tau=0 is the exact identity-reflector sentinel written above
 			continue
 		}
 		wk := wt.Row(k)
@@ -118,7 +118,7 @@ func Orthonormalize(a *Dense, tol float64) *Dense {
 			maxDiag = d
 		}
 	}
-	if maxDiag == 0 {
+	if maxDiag == 0 { //fedsc:allow floatcmp max |R diagonal| is exactly zero iff the matrix is exactly zero
 		return NewDense(a.Rows(), 0)
 	}
 	keep := make([]int, 0, n)
@@ -145,7 +145,7 @@ func SolveUpperTriangular(r *Dense, b []float64) []float64 {
 			s -= row[j] * x[j]
 		}
 		d := row[i]
-		if d == 0 {
+		if d == 0 { //fedsc:allow floatcmp only an exactly zero pivot makes the back-substitution undefined
 			panic("mat: SolveUpperTriangular singular matrix")
 		}
 		x[i] = s / d

@@ -71,7 +71,7 @@ func jacobiSVD(a *Dense, wantV bool) SVD {
 			beta += w * w
 			gamma += v * w
 		}
-		if alpha == 0 || beta == 0 {
+		if alpha == 0 || beta == 0 { //fedsc:allow floatcmp column norms are exactly zero iff a column is exactly zero
 			return 0
 		}
 		if math.Abs(gamma) <= eps*math.Sqrt(alpha*beta) {
@@ -122,7 +122,7 @@ func jacobiSVD(a *Dense, wantV bool) SVD {
 				off += v
 			}
 		}
-		if off == 0 {
+		if off == 0 { //fedsc:allow floatcmp early exit when every off-diagonal is exactly zero; the eps test above handles the rest
 			break
 		}
 	}
@@ -355,7 +355,7 @@ func NumericalRank(a *Dense, tol float64) int {
 		alpha = math.Sqrt(alpha)
 		if k == 0 {
 			sigma0 = alpha
-			if sigma0 == 0 {
+			if sigma0 == 0 { //fedsc:allow floatcmp leading pivot norm is exactly zero iff the matrix is exactly zero
 				return 0
 			}
 		}

@@ -47,7 +47,7 @@ func NormInf(x []float64) float64 {
 // original norm. Zero vectors are left untouched.
 func Normalize(x []float64) float64 {
 	n := Norm2(x)
-	if n == 0 {
+	if n == 0 { //fedsc:allow floatcmp the Euclidean norm is exactly zero iff the vector is exactly zero
 		return 0
 	}
 	inv := 1 / n
@@ -107,7 +107,7 @@ func NormalizeColumns(m *Dense) {
 	for i := 0; i < r; i++ {
 		row := m.Row(i)
 		for j := range row {
-			if norms[j] != 0 {
+			if norms[j] != 0 { //fedsc:allow floatcmp zero-norm columns were left untouched above, marked by an exact 0
 				row[j] *= norms[j]
 			}
 		}

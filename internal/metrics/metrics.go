@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"fedsc/internal/sparse"
 	"fedsc/internal/spectral"
@@ -72,10 +73,10 @@ func NMI(truth, pred []int) float64 {
 	if len(truth) != len(pred) {
 		panic("metrics: NMI length mismatch")
 	}
-	n := float64(len(truth))
-	if n == 0 {
+	if len(truth) == 0 {
 		return 0
 	}
+	n := float64(len(truth))
 	tIdx, tn := relabel(truth)
 	pIdx, pn := relabel(pred)
 	joint := make([][]float64, tn)
@@ -110,7 +111,7 @@ func NMI(truth, pred []int) float64 {
 			}
 		}
 	}
-	if ht+hp == 0 {
+	if ht+hp == 0 { //fedsc:allow floatcmp single-cluster entropies are sums of 1·log(1) terms, exactly zero
 		return 100
 	}
 	return 100 * 2 * mi / (ht + hp)
@@ -126,9 +127,18 @@ func Connectivity(w *sparse.CSR, truth []int, rng *rand.Rand) (min, avg float64)
 	for i, l := range truth {
 		byCluster[l] = append(byCluster[l], i)
 	}
+	// Visit clusters in label order: the Lanczos solver draws from the
+	// shared rng, so iterating the map directly would make both the rng
+	// stream and the float accumulation depend on map order.
+	labels := make([]int, 0, len(byCluster))
+	for l := range byCluster {
+		labels = append(labels, l)
+	}
+	sort.Ints(labels)
 	min = math.Inf(1)
 	sum, count := 0.0, 0
-	for _, idx := range byCluster {
+	for _, l := range labels {
+		idx := byCluster[l]
 		var l2 float64
 		if len(idx) >= 2 {
 			sub := w.Submatrix(idx)
@@ -156,7 +166,7 @@ func SEPHolds(w *sparse.CSR, truth []int) bool {
 	for i := 0; i < n; i++ {
 		ok := true
 		w.Row(i, func(j int, v float64) {
-			if v != 0 && truth[i] != truth[j] {
+			if v != 0 && truth[i] != truth[j] { //fedsc:allow floatcmp CSR stores explicit entries; a zero value is a stored structural zero
 				ok = false
 			}
 		})

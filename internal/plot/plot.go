@@ -47,7 +47,7 @@ func Line(title string, xLabels []string, series []Series, width, height int) st
 	if n == 0 || math.IsInf(lo, 1) {
 		return title + "\n(no data)\n"
 	}
-	if hi == lo {
+	if !(hi > lo) {
 		hi = lo + 1
 	}
 	pad := (hi - lo) * 0.05
@@ -175,7 +175,7 @@ func Heatmap(title string, rowLabels, colLabels []string, values [][]float64) st
 		return title + "\n(no data)\n"
 	}
 	span := hi - lo
-	if span == 0 {
+	if !(span > 0) {
 		span = 1
 	}
 	labelW := 0

@@ -52,7 +52,7 @@ func (p Params) Validate() error {
 // conservative than necessary) mechanism.
 func (p Params) NoiseStd() float64 {
 	sens := p.Sensitivity
-	if sens == 0 {
+	if sens <= 0 {
 		sens = 2
 	}
 	return sens * math.Sqrt(2*math.Log(1.25/p.Delta)) / p.Epsilon

@@ -62,7 +62,9 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.Serv
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	// The status line is already on the wire; an encode failure here
+	// means the client hung up, and there is no channel left to tell it.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func (h *Handler) assign(w http.ResponseWriter, r *http.Request) {
@@ -159,7 +161,9 @@ func Serve(ctx context.Context, ln net.Listener, h *Handler, grace time.Duration
 	err := srv.Shutdown(shutCtx)
 	h.batcher.Stop()
 	if errors.Is(err, context.DeadlineExceeded) {
-		srv.Close()
+		// Hard stop after the grace period; the Shutdown error already
+		// reports the timeout the caller sees.
+		_ = srv.Close()
 	}
 	<-errCh // Serve has returned http.ErrServerClosed
 	return err

@@ -35,7 +35,7 @@ func NewCSR(rows, cols int, entries []Coord) *CSR {
 		if e.Row < 0 || e.Row >= rows || e.Col < 0 || e.Col >= cols {
 			panic(fmt.Sprintf("sparse: entry (%d,%d) out of range for %dx%d", e.Row, e.Col, rows, cols))
 		}
-		if e.Val != 0 {
+		if e.Val != 0 { //fedsc:allow floatcmp dropping exactly-zero entries is the CSR construction contract
 			es = append(es, e)
 		}
 	}
@@ -53,7 +53,7 @@ func NewCSR(rows, cols int, entries []Coord) *CSR {
 			v += es[j].Val
 			j++
 		}
-		if v != 0 {
+		if v != 0 { //fedsc:allow floatcmp duplicate coordinates that cancel exactly are dropped
 			m.colIdx = append(m.colIdx, es[i].Col)
 			m.vals = append(m.vals, v)
 			m.rowPtr[es[i].Row+1]++

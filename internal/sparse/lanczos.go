@@ -46,7 +46,7 @@ func Lanczos(n, k, steps int, matvec func(x, y []float64), rng *rand.Rand) ([]fl
 		// Full reorthogonalization for numerical stability.
 		for i := 0; i <= j; i++ {
 			c := mat.Dot(q.Row(i), w)
-			if c != 0 {
+			if c != 0 { //fedsc:allow floatcmp sparsity skip: an exactly zero projection needs no axpy
 				mat.Axpy(-c, q.Row(i), w)
 			}
 		}
@@ -65,7 +65,7 @@ func Lanczos(n, k, steps int, matvec func(x, y []float64), rng *rand.Rand) ([]fl
 				copy(w, mat.RandomUnitVector(n, rng))
 				for i := 0; i <= j; i++ {
 					c := mat.Dot(q.Row(i), w)
-					if c != 0 {
+					if c != 0 { //fedsc:allow floatcmp sparsity skip: an exactly zero projection needs no axpy
 						mat.Axpy(-c, q.Row(i), w)
 					}
 				}
@@ -116,7 +116,7 @@ func Lanczos(n, k, steps int, matvec func(x, y []float64), rng *rand.Rand) ([]fl
 		dst := make([]float64, n)
 		for i := 0; i < m; i++ {
 			w := eig.Vectors.At(i, src)
-			if w != 0 {
+			if w != 0 { //fedsc:allow floatcmp sparsity skip: exactly zero eigvec weights contribute nothing
 				mat.Axpy(w, q.Row(i), dst)
 			}
 		}

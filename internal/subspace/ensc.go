@@ -59,7 +59,7 @@ func EnSC(x *mat.Dense, k int, rng *rand.Rand, opts EnSCOptions) Result {
 					mu = a
 				}
 			}
-			if mu == 0 {
+			if mu == 0 { //fedsc:allow floatcmp max |correlation| is exactly zero iff the point is exactly orthogonal to all others
 				coef[i] = make([]float64, n)
 				continue
 			}

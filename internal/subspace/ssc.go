@@ -86,7 +86,7 @@ func SSCCoefficients(x *mat.Dense, opts SSCOptions) [][]float64 {
 					mu = a
 				}
 			}
-			if mu == 0 {
+			if mu == 0 { //fedsc:allow floatcmp max |correlation| is exactly zero iff the point is exactly orthogonal to all others
 				coef[i] = make([]float64, n)
 				continue
 			}

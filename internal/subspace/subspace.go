@@ -69,7 +69,7 @@ func Cluster(method Method, x *mat.Dense, k int, rng *rand.Rand) Result {
 func normalized(x *mat.Dense) *mat.Dense {
 	norms := mat.ColNorms(x)
 	for _, v := range norms {
-		if math.Abs(v-1) > 1e-9 && v != 0 {
+		if math.Abs(v-1) > 1e-9 && v != 0 { //fedsc:allow floatcmp zero-norm columns cannot be normalized and are passed through
 			c := x.Clone()
 			mat.NormalizeColumns(c)
 			return c

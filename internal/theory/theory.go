@@ -95,7 +95,9 @@ func ProjectedDualDirections(xl, basis *mat.Dense, lambda float64) *mat.Dense {
 		nu := DualDirection(x, rest, lambda)
 		// Project onto the subspace and normalize.
 		proj := mat.MulVec(basis, mat.MulTVec(basis, nu))
-		if mat.Normalize(proj) == 0 {
+		// A denormal-scale projection is as degenerate as an exact zero:
+		// normalizing it amplifies pure rounding noise into a "direction".
+		if mat.Normalize(proj) <= 1e-12 {
 			continue
 		}
 		v.SetCol(i, proj)
@@ -194,7 +196,7 @@ func InradiusEstimate(x, basis *mat.Dense, trials int, rng *rand.Rand) float64 {
 			for i := 0; i < d; i++ {
 				cand[i] = w[i] - step*g[i]
 			}
-			if mat.Normalize(cand) == 0 {
+			if mat.Normalize(cand) <= 1e-12 {
 				step /= 2
 				continue
 			}
