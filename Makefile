@@ -4,9 +4,9 @@ GO ?= go
 # Label naming the machine-readable benchmark report (BENCH_<label>.json).
 BENCH_LABEL ?= local
 
-.PHONY: check fmt vet build test race lint bench bench-json
+.PHONY: check fmt vet build test race lint chaos bench bench-json
 
-check: fmt vet lint build race
+check: fmt vet lint build race chaos
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -30,6 +30,11 @@ race:
 # connection-deadline contracts (see DESIGN.md "Determinism contract").
 lint:
 	$(GO) run ./cmd/fedsc-lint
+
+# Fault-injection smoke: every named chaos schedule must complete a
+# round via retry + straggler tolerance and replay bit-identically.
+chaos:
+	$(GO) run ./cmd/fedsc-chaos -schedule all
 
 bench:
 	$(GO) test -bench=. -benchmem

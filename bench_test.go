@@ -84,6 +84,10 @@ func BenchmarkLocalClusterAndSample(b *testing.B) { perf.LocalClusterAndSample(b
 // BenchmarkFedSCRound measures a complete one-shot round end to end.
 func BenchmarkFedSCRound(b *testing.B) { perf.FedSCRound(b) }
 
+// BenchmarkFedSCRoundUnderLatency measures a complete networked round
+// over the chaos transport with 2ms±1ms scripted latency per link.
+func BenchmarkFedSCRoundUnderLatency(b *testing.B) { perf.FedSCRoundUnderLatency(b) }
+
 // BenchmarkSSCAffinity measures the Lasso self-expression sweep that
 // dominates both local and centralized SSC.
 func BenchmarkSSCAffinity(b *testing.B) {

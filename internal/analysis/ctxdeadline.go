@@ -20,9 +20,16 @@ import (
 // perform the I/O.
 //
 // The rule applies only to the packages that own wire I/O
-// (internal/fednet, internal/serve); the analysis is per-function and
-// position-ordered, so a deadline set by a helper does not satisfy it
-// — each function touching the wire states its own budget.
+// (internal/fednet, internal/serve, internal/chaos); the analysis is
+// per-function and position-ordered, so a deadline set by a helper
+// does not satisfy it — each function touching the wire states its own
+// budget. Conns are tracked whether they are held in a local variable
+// or in a struct field (c.inner.Read resolves to the field object).
+// The one exemption is the conn-wrapper forwarder: a Read/Write method
+// whose receiver itself exposes SetReadDeadline IS the conn from the
+// caller's perspective — the deadline decision belongs to the caller
+// and is forwarded, so requiring another one inside the forwarder
+// would demand a second budget for the same operation.
 var CtxDeadline = &Analyzer{
 	Name: "ctxdeadline",
 	Doc:  "require a deadline decision on a conn before reads/writes in the network packages",
@@ -31,7 +38,7 @@ var CtxDeadline = &Analyzer{
 
 // deadlinePackages are the import-path suffixes the rule binds;
 // "ctxdeadline" admits the fixture package.
-var deadlinePackages = []string{"internal/fednet", "internal/serve", "ctxdeadline"}
+var deadlinePackages = []string{"internal/fednet", "internal/serve", "internal/chaos", "ctxdeadline"}
 
 // ioWrappers maps package path → constructor/function names that take
 // ownership of a conn's I/O.
@@ -58,9 +65,36 @@ func runCtxDeadline(pass *Pass) {
 			if !ok || fn.Body == nil {
 				continue
 			}
+			if isConnForwarder(pass, fn) {
+				continue
+			}
 			checkDeadlines(pass, fn.Body)
 		}
 	}
+}
+
+// forwarderMethods are the I/O methods a conn wrapper re-exposes; when
+// the receiver itself carries the deadline surface, the budget belongs
+// to the wrapper's caller and is forwarded, not re-decided inside.
+var forwarderMethods = map[string]bool{"Read": true, "Write": true, "ReadFrom": true, "WriteTo": true}
+
+// isConnForwarder reports whether fn is an I/O method on a receiver
+// type that itself exposes SetReadDeadline — the wrapper IS the conn.
+func isConnForwarder(pass *Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || !forwarderMethods[fn.Name.Name] {
+		return false
+	}
+	def, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := def.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	m, _, _ := types.LookupFieldOrMethod(recv.Type(), true, pass.Pkg, "SetReadDeadline")
+	_, isFunc := m.(*types.Func)
+	return isFunc
 }
 
 // deadlineSetters maps the Set*Deadline method name to the directions
@@ -88,7 +122,7 @@ func checkDeadlines(pass *Pass, body *ast.BlockStmt) {
 		if !ok {
 			return true
 		}
-		obj := identObject(pass, sel.X)
+		obj := connObject(pass, sel.X)
 		if obj == nil {
 			return true
 		}
@@ -120,7 +154,7 @@ func checkDeadlines(pass *Pass, body *ast.BlockStmt) {
 			return true
 		}
 		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			if obj := identObject(pass, sel.X); obj != nil && hasDeadlineMethods(pass, obj) {
+			if obj := connObject(pass, sel.X); obj != nil && hasDeadlineMethods(pass, obj) {
 				s := set[obj]
 				switch sel.Sel.Name {
 				case "Read", "ReadFrom":
@@ -138,7 +172,7 @@ func checkDeadlines(pass *Pass, body *ast.BlockStmt) {
 		}
 		if name, ok := wrapperCall(pass, call); ok {
 			for _, arg := range call.Args {
-				obj := identObject(pass, arg)
+				obj := connObject(pass, arg)
 				if obj == nil || !hasDeadlineMethods(pass, obj) {
 					continue
 				}
@@ -174,6 +208,27 @@ func wrapperCall(pass *Pass, call *ast.CallExpr) (string, bool) {
 		return "", false
 	}
 	return pn.Imported().Name() + "." + sel.Sel.Name, true
+}
+
+// connObject resolves the expression holding a conn: a bare identifier
+// (local, parameter) or a field selector like c.conn — the latter via
+// the type checker's selection record, so the same struct field is one
+// object no matter which expression spells it. Deeper chains
+// (a.b.conn) resolve to the final field, which is the conn's identity
+// for the position-ordered matching this analysis does.
+func connObject(pass *Pass, e ast.Expr) types.Object {
+	if obj := identObject(pass, e); obj != nil {
+		return obj
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj()
 }
 
 // hasDeadlineMethods reports whether the object's type exposes the

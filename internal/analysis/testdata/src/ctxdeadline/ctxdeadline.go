@@ -48,3 +48,53 @@ func GoodExplicitNoDeadline(conn net.Conn, v any) error {
 func GoodPlainReader(r interface{ Read([]byte) (int, error) }, buf []byte) (int, error) {
 	return r.Read(buf)
 }
+
+// session holds its conn in a struct field; the rule tracks the field
+// object the same way it tracks a local variable.
+type session struct {
+	conn net.Conn
+}
+
+// BadFieldRead reads a field-held conn with no deadline decision.
+func (s *session) BadFieldRead(buf []byte) (int, error) {
+	return s.conn.Read(buf)
+}
+
+// BadFieldWrap hands a field-held conn to a codec undecided.
+func (s *session) BadFieldWrap(v any) error {
+	return gob.NewDecoder(s.conn).Decode(v)
+}
+
+// GoodFieldRead decides the budget on the field-held conn first.
+func (s *session) GoodFieldRead(buf []byte) (int, error) {
+	if err := s.conn.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		return 0, err
+	}
+	return s.conn.Read(buf)
+}
+
+// wrapper re-exposes the conn surface: it has SetReadDeadline itself,
+// so its Read/Write are forwarders — the caller owns the deadline
+// decision and the forwarder must not be forced to re-decide it.
+type wrapper struct {
+	inner net.Conn
+}
+
+func (w *wrapper) SetReadDeadline(t time.Time) error  { return w.inner.SetReadDeadline(t) }
+func (w *wrapper) SetWriteDeadline(t time.Time) error { return w.inner.SetWriteDeadline(t) }
+
+// Read is a conn forwarder: exempt despite the undecided inner I/O.
+func (w *wrapper) Read(p []byte) (int, error) {
+	return w.inner.Read(p)
+}
+
+// Write is a conn forwarder: exempt despite the undecided inner I/O.
+func (w *wrapper) Write(p []byte) (int, error) {
+	return w.inner.Write(p)
+}
+
+// BadWrapperHelper is not a forwarder — a differently-named method on
+// the same wrapper still owes a deadline decision before inner I/O.
+func (w *wrapper) BadWrapperHelper(p []byte) (int, error) {
+	return w.inner.Write(p)
+}

@@ -1,0 +1,326 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// wrapPipe returns a scripted client conn talking to a raw server end.
+func wrapPipe(t *testing.T, script Script, seed int64) (*Conn, net.Conn) {
+	t.Helper()
+	server, client := net.Pipe()
+	t.Cleanup(func() {
+		_ = server.Close() // teardown; faults may have closed it already
+		_ = client.Close() // teardown; faults may have closed it already
+	})
+	conn := newConn(client, script, script.terminal(), 0, 0,
+		rand.New(rand.NewSource(seed)), NewTrace())
+	return conn, server
+}
+
+// TestResetWriteAtExactOffset: the peer observes exactly the scripted
+// number of bytes, then a terminated stream.
+func TestResetWriteAtExactOffset(t *testing.T) {
+	const offset = 100
+	conn, server := wrapPipe(t, Script{ResetWriteAt: offset, ChunkBytes: 7}, 1)
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = io.Copy(&got, server) // the reset ends the stream; EOF vs ErrClosedPipe is irrelevant
+	}()
+	n, err := conn.Write(make([]byte, 300))
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("write returned %v, want ErrReset", err)
+	}
+	if n != offset {
+		t.Fatalf("writer delivered %d bytes, want exactly %d", n, offset)
+	}
+	<-done
+	if got.Len() != offset {
+		t.Fatalf("peer observed %d bytes, want exactly %d", got.Len(), offset)
+	}
+	events := conn.trace.Events(0)
+	if len(events) != 1 || !strings.Contains(events[0], "reset at byte 100") {
+		t.Fatalf("trace = %v, want one reset event at byte 100", events)
+	}
+}
+
+// TestResetReadAtExactOffset mirrors the write-side reset: exactly the
+// scripted number of downlink bytes are observed.
+func TestResetReadAtExactOffset(t *testing.T) {
+	const offset = 100
+	conn, server := wrapPipe(t, Script{ResetReadAt: offset}, 2)
+	go func() {
+		_, _ = server.Write(make([]byte, 300)) // cut mid-write by the scripted reset
+	}()
+	got, err := io.ReadAll(io.Reader(conn))
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("read returned %v, want ErrReset", err)
+	}
+	if len(got) != offset {
+		t.Fatalf("reader observed %d bytes, want exactly %d", len(got), offset)
+	}
+}
+
+// TestChunkedWrites: fragmentation caps what the peer sees per read.
+func TestChunkedWrites(t *testing.T) {
+	conn, server := wrapPipe(t, Script{ChunkBytes: 8}, 3)
+	go func() {
+		_, _ = conn.Write(make([]byte, 50)) // sizes are asserted reader-side
+		_ = conn.Close()                    // teardown of the write side
+	}()
+	total := 0
+	buf := make([]byte, 64)
+	for {
+		n, err := server.Read(buf)
+		if n > 8 {
+			t.Fatalf("peer read %d bytes in one call, chunking caps it at 8", n)
+		}
+		total += n
+		if err != nil {
+			break
+		}
+	}
+	if total != 50 {
+		t.Fatalf("peer observed %d bytes, want 50", total)
+	}
+}
+
+// TestBlackholeRespectsDeadline: a black-holed direction returns the
+// caller's deadline error instead of hanging.
+func TestBlackholeRespectsDeadline(t *testing.T) {
+	conn, _ := wrapPipe(t, Script{Blackhole: true}, 4)
+	if err := conn.SetDeadline(time.Now().Add(20 * time.Millisecond)); err != nil {
+		t.Fatalf("set deadline: %v", err)
+	}
+	start := time.Now()
+	if _, err := conn.Read(make([]byte, 1)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("black-holed read returned %v, want deadline exceeded", err)
+	}
+	if _, err := conn.Write(make([]byte, 1)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("black-holed write returned %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline honoured only after %v", elapsed)
+	}
+}
+
+// TestBlackholeUnblocksOnClose: without a deadline, Close is the only
+// exit — it must wake the stalled operation.
+func TestBlackholeUnblocksOnClose(t *testing.T) {
+	conn, _ := wrapPipe(t, Script{Blackhole: true}, 5)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(make([]byte, 1))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = conn.Close() // the close is the point of the test
+	if err := <-errCh; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("stalled read returned %v after close, want net.ErrClosed", err)
+	}
+}
+
+// TestScheduledRefusal: the dialer refuses exactly FailAttempts times,
+// then connects cleanly.
+func TestScheduledRefusal(t *testing.T) {
+	pn := NewPipeNet()
+	defer pn.Close()
+	sched := &Schedule{Seed: 9, Devices: map[int]Script{3: {Refuse: true, FailAttempts: 2}}, Trace: NewTrace()}
+	dial := sched.Dialer(3, pn.Dial)
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := dial(); !errors.Is(err, ErrRefused) {
+			t.Fatalf("attempt %d: %v, want ErrRefused", attempt, err)
+		}
+	}
+	conn, err := dial()
+	if err != nil {
+		t.Fatalf("third attempt should connect: %v", err)
+	}
+	_ = conn.Close() // only the dial outcome matters
+	if events := sched.Trace.Events(3); len(events) != 2 {
+		t.Fatalf("trace recorded %d refusals, want 2: %v", len(events), events)
+	}
+}
+
+// TestRefusingListener: the accept-side complement closes the first
+// RefuseFirst connections before a byte flows.
+func TestRefusingListener(t *testing.T) {
+	pn := NewPipeNet()
+	defer pn.Close()
+	ln := &Listener{Inner: pn.Listener(), RefuseFirst: 1, Trace: NewTrace()}
+	first, err := pn.Dial()
+	if err != nil {
+		t.Fatalf("first dial: %v", err)
+	}
+	second, err := pn.Dial()
+	if err != nil {
+		t.Fatalf("second dial: %v", err)
+	}
+	accepted, err := ln.Accept()
+	if err != nil {
+		t.Fatalf("accept: %v", err)
+	}
+	defer func() {
+		_ = accepted.Close() // teardown
+		_ = second.Close()   // teardown
+	}()
+	// The refused dialer observes a dead connection (Accept already
+	// closed its peer, so the read fails without blocking).
+	if _, err := first.Read(make([]byte, 1)); err == nil {
+		t.Fatal("refused connection still delivered bytes")
+	}
+	// The accepted pair is live in both directions.
+	go func() { _, _ = accepted.Write([]byte("ok")) }()
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(second, buf); err != nil {
+		t.Fatalf("accepted connection dead: %v", err)
+	}
+	if events := ln.Trace.Events(-1); len(events) != 1 {
+		t.Fatalf("trace recorded %d refusals, want 1: %v", len(events), events)
+	}
+}
+
+// TestLatencyDeterminism: equal seeds produce identical jitter draws,
+// different seeds diverge.
+func TestLatencyDeterminism(t *testing.T) {
+	script := Script{Latency: time.Millisecond, Jitter: time.Millisecond}
+	draw := func(seed int64) []time.Duration {
+		c := newConn(nil, script, false, 0, 0, rand.New(rand.NewSource(seed)), nil)
+		out := make([]time.Duration, 8)
+		for i := range out {
+			out[i] = c.latency()
+		}
+		return out
+	}
+	a, b := draw(7), draw(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: %v vs %v under equal seeds", i, a[i], b[i])
+		}
+	}
+	c := draw(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+// TestScheduleAttemptCounting: Wrap derives independent rng streams
+// per (device, attempt) and ResetAttempts rewinds the dialer.
+func TestScheduleAttemptCounting(t *testing.T) {
+	pn := NewPipeNet()
+	defer pn.Close()
+	sched := &Schedule{Seed: 11, Devices: map[int]Script{0: {ResetWriteAt: 10}}}
+	dial := sched.Dialer(0, pn.Dial)
+	c1, err := dial()
+	if err != nil {
+		t.Fatalf("dial 1: %v", err)
+	}
+	c2, err := dial()
+	if err != nil {
+		t.Fatalf("dial 2: %v", err)
+	}
+	if !c1.(*Conn).failing || c2.(*Conn).failing {
+		t.Fatal("terminal fault must hit attempt 0 and spare attempt 1")
+	}
+	_ = c1.Close() // teardown
+	_ = c2.Close() // teardown
+	sched.ResetAttempts()
+	c3, err := dial()
+	if err != nil {
+		t.Fatalf("dial after reset: %v", err)
+	}
+	if !c3.(*Conn).failing {
+		t.Fatal("ResetAttempts did not rewind the attempt counter")
+	}
+	_ = c3.Close() // teardown
+}
+
+// TestNamedSchedules: every published name resolves, unknown names
+// fail, and the victim ids stay within range for small z.
+func TestNamedSchedules(t *testing.T) {
+	for _, name := range Names() {
+		s, ok := Named(name, 4, 1)
+		if !ok || s == nil {
+			t.Fatalf("schedule %q did not resolve", name)
+		}
+		for dev := range s.Devices {
+			if dev < 0 || dev >= 4 {
+				t.Fatalf("schedule %q targets device %d outside z=4", name, dev)
+			}
+		}
+		if s.Trace == nil {
+			t.Fatalf("schedule %q has no trace", name)
+		}
+	}
+	if _, ok := Named("no-such-schedule", 4, 1); ok {
+		t.Fatal("unknown schedule name resolved")
+	}
+	// z=1 must clamp every victim onto the only device.
+	s, _ := Named("blackhole", 1, 1)
+	if _, ok := s.Devices[0]; !ok {
+		t.Fatal("z=1 blackhole schedule has no victim")
+	}
+}
+
+// TestTraceRendering: concurrent recording, sorted deterministic
+// rendering, nil safety.
+func TestTraceRendering(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for dev := 0; dev < 4; dev++ {
+		wg.Add(1)
+		go func(dev int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				tr.Record(dev, "event %d", i)
+			}
+		}(dev)
+	}
+	wg.Wait()
+	s := tr.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("trace rendered %d lines, want 12:\n%s", len(lines), s)
+	}
+	for i := 1; i < len(lines); i++ {
+		if deviceOf(t, lines[i]) < deviceOf(t, lines[i-1]) {
+			t.Fatalf("trace lines not in ascending device order:\n%s", s)
+		}
+	}
+	var nilTrace *Trace
+	nilTrace.Record(0, "dropped")
+	if nilTrace.String() != "" || nilTrace.Events(0) != nil {
+		t.Fatal("nil trace must be inert")
+	}
+	tr.Reset()
+	if tr.String() != "" {
+		t.Fatal("reset did not clear the trace")
+	}
+}
+
+// deviceOf parses the device id from a rendered "device N: ..." line.
+func deviceOf(t *testing.T, line string) int {
+	t.Helper()
+	var dev int
+	if _, err := fmt.Sscanf(line, "device %d:", &dev); err != nil {
+		t.Fatalf("unparseable trace line %q: %v", line, err)
+	}
+	return dev
+}

@@ -1,0 +1,113 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+)
+
+// PipeNet is an in-process network: Dial hands the server end of a
+// fresh net.Pipe to the Listener and returns the client end. net.Pipe
+// is synchronous and unbuffered, so the bytes each side observes under
+// a scripted fault — a reset at byte 512 delivers exactly 512 bytes —
+// are fully deterministic, which makes PipeNet the transport of the
+// bit-identical replay tests and the default transport of fedsc-chaos.
+type PipeNet struct {
+	conns chan net.Conn
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// NewPipeNet returns a ready network. The accept queue is buffered so
+// dialing never blocks on the server's accept cadence.
+func NewPipeNet() *PipeNet {
+	return &PipeNet{conns: make(chan net.Conn, 256), done: make(chan struct{})}
+}
+
+// Dial opens a connection to the network's listener.
+func (p *PipeNet) Dial() (net.Conn, error) {
+	server, client := net.Pipe()
+	select {
+	case p.conns <- server:
+		return client, nil
+	case <-p.done:
+		// The network is gone; the unconsumed server end dies with it.
+		_ = server.Close()
+		_ = client.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+// Listener returns the accept side of the network.
+func (p *PipeNet) Listener() net.Listener { return pipeListener{p} }
+
+// Close shuts the network down; pending and future dials fail.
+func (p *PipeNet) Close() {
+	p.closeOnce.Do(func() { close(p.done) })
+}
+
+type pipeListener struct{ p *PipeNet }
+
+func (l pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.p.conns:
+		return c, nil
+	case <-l.p.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (l pipeListener) Close() error { l.p.Close(); return nil }
+
+func (l pipeListener) Addr() net.Addr { return pipeAddr{} }
+
+type pipeAddr struct{}
+
+func (pipeAddr) Network() string { return "chaos-pipe" }
+func (pipeAddr) String() string  { return "chaos-pipe" }
+
+// Listener wraps a net.Listener with accept-time faults: the first
+// RefuseFirst accepted connections are closed before a byte flows, so
+// from the dialing device's perspective the server refused the
+// connection — the accept-side complement of Script.Refuse.
+type Listener struct {
+	Inner net.Listener
+	// RefuseFirst is how many initial connections to refuse.
+	RefuseFirst int
+	// Trace records each refusal under device id -1 (the listener does
+	// not know which device dialed).
+	Trace *Trace
+
+	mu      sync.Mutex
+	refused int
+}
+
+// Accept refuses the first RefuseFirst connections, then delegates.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		refuse := l.refused < l.RefuseFirst
+		if refuse {
+			l.refused++
+		}
+		n := l.refused
+		l.mu.Unlock()
+		if !refuse {
+			return conn, nil
+		}
+		l.Trace.Record(-1, "accept refused (%d of %d)", n, l.RefuseFirst)
+		// Refusal is the injected fault; the close error carries no
+		// further signal.
+		_ = conn.Close()
+	}
+}
+
+// Close closes the wrapped listener.
+func (l *Listener) Close() error { return l.Inner.Close() }
+
+// Addr reports the wrapped listener's address.
+func (l *Listener) Addr() net.Addr { return l.Inner.Addr() }

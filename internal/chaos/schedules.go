@@ -1,0 +1,60 @@
+package chaos
+
+import "time"
+
+// Named returns one of the predefined fault schedules, parameterised
+// by the number of devices z (victim ids are taken modulo z) and the
+// replay seed. The names are stable — they appear in `fedsc-chaos
+// -schedule`, the Makefile smoke target, and the regression tests.
+//
+//	none        fault-free baseline
+//	latency     50ms ± 20ms one-way latency on every link
+//	slow-links  5ms latency, 512-byte fragments, 2 MB/s bandwidth cap
+//	reset-retry device 0 reset mid-upload at byte 512, first attempt
+//	flaky-dial  device 2 refused on its first two connection attempts
+//	blackhole   device 1 black-holed on every attempt (never recovers)
+//	duplicate   device 2 replays its upload on a second connection
+//	mixed       latency 50ms ± 10ms on all links, device 0 reset at
+//	            byte 512 on its first attempt, device 1 black-holed
+//	            (the acceptance schedule: the round must complete via
+//	            retry + straggler tolerance with no duplicate samples)
+func Named(name string, z int, seed int64) (*Schedule, bool) {
+	if z < 1 {
+		z = 1
+	}
+	victim := func(i int) int { return i % z }
+	s := &Schedule{Seed: seed, Devices: map[int]Script{}, Trace: NewTrace()}
+	switch name {
+	case "none":
+	case "latency":
+		s.Default = Script{Latency: 50 * time.Millisecond, Jitter: 20 * time.Millisecond}
+	case "slow-links":
+		s.Default = Script{Latency: 5 * time.Millisecond, ChunkBytes: 512, BandwidthBps: 2 << 20}
+	case "reset-retry":
+		s.Devices[victim(0)] = Script{ResetWriteAt: 512}
+	case "flaky-dial":
+		s.Devices[victim(2)] = Script{Refuse: true, FailAttempts: 2}
+	case "blackhole":
+		s.Devices[victim(1)] = Script{Blackhole: true, FailAttempts: -1}
+	case "duplicate":
+		s.Devices[victim(2)] = Script{Duplicate: true}
+	case "mixed":
+		s.Default = Script{Latency: 50 * time.Millisecond, Jitter: 10 * time.Millisecond}
+		s.Devices[victim(0)] = Script{
+			Latency: 50 * time.Millisecond, Jitter: 10 * time.Millisecond,
+			ResetWriteAt: 512,
+		}
+		s.Devices[victim(1)] = Script{
+			Latency: 50 * time.Millisecond, Jitter: 10 * time.Millisecond,
+			Blackhole: true, FailAttempts: -1,
+		}
+	default:
+		return nil, false
+	}
+	return s, true
+}
+
+// Names lists the predefined schedules in presentation order.
+func Names() []string {
+	return []string{"none", "latency", "slow-links", "reset-retry", "flaky-dial", "blackhole", "duplicate", "mixed"}
+}

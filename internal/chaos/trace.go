@@ -1,0 +1,81 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Trace records every injected fault. Events are kept per device in
+// injection order and rendered sorted by device id, so two runs of the
+// same seeded schedule produce byte-identical strings even though the
+// devices run concurrently: within a device the fault sequence is a
+// deterministic function of its script and rng, and across devices the
+// rendering order is fixed.
+type Trace struct {
+	mu     sync.Mutex
+	events map[int][]string
+}
+
+// NewTrace returns an empty recorder.
+func NewTrace() *Trace {
+	return &Trace{events: make(map[int][]string)}
+}
+
+// Record appends one formatted event to the device's log. A nil Trace
+// discards the event, so callers never need to guard the pointer.
+func (t *Trace) Record(device int, format string, args ...any) {
+	if t == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	t.mu.Lock()
+	if t.events == nil {
+		t.events = make(map[int][]string)
+	}
+	t.events[device] = append(t.events[device], msg)
+	t.mu.Unlock()
+}
+
+// Reset clears the log for a fresh run.
+func (t *Trace) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = make(map[int][]string)
+	t.mu.Unlock()
+}
+
+// Events returns the device's fault log in injection order.
+func (t *Trace) Events(device int) []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.events[device]...)
+}
+
+// String renders the full trace, one "device <id>: <event>" line per
+// fault, devices in ascending id order.
+func (t *Trace) String() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ids := make([]int, 0, len(t.events))
+	for id := range t.events {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		for _, ev := range t.events[id] {
+			fmt.Fprintf(&b, "device %d: %s\n", id, ev)
+		}
+	}
+	return b.String()
+}

@@ -2,6 +2,7 @@ package fednet
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -12,20 +13,12 @@ import (
 )
 
 // IOTimeout bounds each network operation of the client protocol: the
-// upload write and the reply read each get this budget. The reply wait
-// covers the server-side central clustering, so the default is
-// generous. Non-positive means no deadline — the pre-deadline
-// behaviour, which risks blocking forever on a hung server.
+// hello read, the upload write, and the reply read each get this
+// budget. The reply wait covers the server-side central clustering, so
+// the default is generous. Non-positive means no deadline — the
+// pre-deadline behaviour, which risks blocking forever on a hung
+// server. RetryPolicy.Timeout overrides it per attempt.
 var IOTimeout = 2 * time.Minute
-
-// ioDeadline converts IOTimeout into an absolute deadline; the zero
-// time explicitly clears any previous deadline.
-func ioDeadline() time.Time {
-	if IOTimeout <= 0 {
-		return time.Time{}
-	}
-	return time.Now().Add(IOTimeout)
-}
 
 // ClientResult is the outcome of one device's participation in a round.
 type ClientResult struct {
@@ -35,16 +28,161 @@ type ClientResult struct {
 	R int
 	// SampleAssignments are the server labels of the uploaded samples.
 	SampleAssignments []int
+	// Attempts is how many connection attempts the exchange took (1 for
+	// a fault-free link).
+	Attempts int
 }
 
-// RunClient executes the full client side of the protocol on an
-// established connection: Phase 1 locally on x (columns = points), one
-// uplink message, one downlink message, Phase 3 locally. The connection
-// is closed before returning.
-func RunClient(conn net.Conn, deviceID int, x *mat.Dense, local core.LocalOptions, rng *rand.Rand) (ClientResult, error) {
+// rejectionError marks a server-side rejection: the server answered,
+// so retrying the identical upload cannot succeed.
+type rejectionError struct{ msg string }
+
+func (e rejectionError) Error() string { return e.msg }
+
+// RetryPolicy governs the client's fault tolerance: a failed exchange
+// is retried on a fresh connection with capped exponential backoff and
+// seeded jitter. The zero value performs a single attempt — the
+// pre-retry behaviour.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of connection attempts
+	// (including the first); values below 1 mean 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; each further
+	// attempt doubles it. Zero defaults to 50ms when retries are on.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Zero defaults to 2s.
+	MaxDelay time.Duration
+	// Jitter widens each backoff multiplicatively by a seeded uniform
+	// draw in [1-Jitter, 1+Jitter], desynchronizing a fleet of devices
+	// that all lost the same server. Values outside [0, 1] are clamped.
+	Jitter float64
+	// Timeout bounds each point-to-point operation of an attempt (the
+	// hello read and the upload write); zero falls back to the
+	// package-level IOTimeout.
+	Timeout time.Duration
+	// ReplyTimeout bounds the final read separately: the reply arrives
+	// only once the server has collected every expected device, so this
+	// wait spans the whole straggler window plus the central clustering
+	// — far longer than a point-to-point exchange. A Timeout-sized
+	// reply budget would make every punctual device abandon its live
+	// connection the moment one slow peer exhausts that same Timeout.
+	// Zero falls back to Timeout, then IOTimeout.
+	ReplyTimeout time.Duration
+}
+
+// DefaultRetryPolicy is the recommended client tolerance: four
+// attempts, 50ms base backoff doubling to at most 2s, ±30% jitter.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Jitter: 0.3}
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the sleep before attempt (1-based count of failures
+// so far): BaseDelay·2^(attempt-1), capped at MaxDelay, scaled by the
+// seeded jitter draw. The draw is consumed even when the delay is
+// zero, so the rng stream does not depend on fault timing.
+func (p RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
+	jitter := p.Jitter
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	scale := 1.0
+	if jitter > 0 {
+		scale = 1 + jitter*(2*rng.Float64()-1)
+	}
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := p.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base << uint(attempt-1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return time.Duration(float64(d) * scale)
+}
+
+// ioDeadline converts a per-operation budget into an absolute
+// deadline; the zero time explicitly clears any previous deadline.
+func (p RetryPolicy) ioDeadline() time.Time {
+	t := p.Timeout
+	if t == 0 {
+		t = IOTimeout
+	}
+	if t <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(t)
+}
+
+// replyDeadline is ioDeadline for the round-spanning reply wait.
+func (p RetryPolicy) replyDeadline() time.Time {
+	t := p.ReplyTimeout
+	if t == 0 {
+		t = p.Timeout
+	}
+	if t == 0 {
+		t = IOTimeout
+	}
+	if t <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(t)
+}
+
+// exchange runs one wire exchange — hello, upload (echoing the hello's
+// round nonce), reply — on an established connection and closes it.
+func exchange(conn net.Conn, deviceID int, upload SampleUpload, policy RetryPolicy) (AssignmentReply, error) {
 	// The protocol is one-shot: a Close error after a complete exchange
 	// changes nothing the client can act on.
 	defer func() { _ = conn.Close() }()
+	if err := conn.SetReadDeadline(policy.ioDeadline()); err != nil {
+		return AssignmentReply{}, fmt.Errorf("fednet: device %d set read deadline: %w", deviceID, err)
+	}
+	var hello RoundHello
+	if err := gob.NewDecoder(conn).Decode(&hello); err != nil {
+		return AssignmentReply{}, fmt.Errorf("fednet: device %d round hello: %w", deviceID, err)
+	}
+	upload.Nonce = hello.Nonce
+	if err := conn.SetWriteDeadline(policy.ioDeadline()); err != nil {
+		return AssignmentReply{}, fmt.Errorf("fednet: device %d set write deadline: %w", deviceID, err)
+	}
+	if err := gob.NewEncoder(conn).Encode(upload); err != nil {
+		return AssignmentReply{}, fmt.Errorf("fednet: device %d upload: %w", deviceID, err)
+	}
+	if err := conn.SetReadDeadline(policy.replyDeadline()); err != nil {
+		return AssignmentReply{}, fmt.Errorf("fednet: device %d set read deadline: %w", deviceID, err)
+	}
+	var reply AssignmentReply
+	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
+		return AssignmentReply{}, fmt.Errorf("fednet: device %d reply: %w", deviceID, err)
+	}
+	if reply.Err != "" {
+		return AssignmentReply{}, rejectionError{msg: fmt.Sprintf("fednet: device %d rejected by server: %s", deviceID, reply.Err)}
+	}
+	return reply, nil
+}
+
+// RunClientDialer executes the full client side of the protocol with
+// fault tolerance: Phase 1 runs locally on x exactly once (so every
+// attempt re-uploads the identical samples and the server's dedup
+// replacement is idempotent), then each attempt dials a fresh
+// connection and performs the wire exchange, backing off between
+// failures per the policy. Phase 3 runs locally on the first
+// successful reply.
+func RunClientDialer(dial func() (net.Conn, error), deviceID int, x *mat.Dense, local core.LocalOptions, policy RetryPolicy, rng *rand.Rand) (ClientResult, error) {
 	lr := core.LocalClusterAndSample(x, local, rng)
 	rows, cols := lr.Samples.Dims()
 	upload := SampleUpload{
@@ -53,28 +191,42 @@ func RunClient(conn net.Conn, deviceID int, x *mat.Dense, local core.LocalOption
 		Cols:     cols,
 		Data:     lr.Samples.Data(),
 	}
-	if err := conn.SetWriteDeadline(ioDeadline()); err != nil {
-		return ClientResult{}, fmt.Errorf("fednet: device %d set write deadline: %w", deviceID, err)
+	var lastErr error
+	for attempt := 1; attempt <= policy.attempts(); attempt++ {
+		if attempt > 1 {
+			time.Sleep(policy.Backoff(attempt-1, rng))
+		}
+		upload.Attempt = attempt
+		conn, err := dial()
+		if err != nil {
+			lastErr = fmt.Errorf("fednet: device %d dial: %w", deviceID, err)
+			continue
+		}
+		reply, err := exchange(conn, deviceID, upload, policy)
+		if err != nil {
+			lastErr = err
+			var rejected rejectionError
+			if errors.As(err, &rejected) {
+				// The server saw the upload and said no; the identical
+				// payload cannot fare better on a retry.
+				break
+			}
+			continue
+		}
+		if len(reply.Assignments) != cols {
+			return ClientResult{}, fmt.Errorf("fednet: device %d got %d assignments for %d samples",
+				deviceID, len(reply.Assignments), cols)
+		}
+		res := applyPhase3(x, local, lr, reply.Assignments)
+		res.Attempts = attempt
+		return res, nil
 	}
-	if err := gob.NewEncoder(conn).Encode(upload); err != nil {
-		return ClientResult{}, fmt.Errorf("fednet: device %d upload: %w", deviceID, err)
-	}
-	if err := conn.SetReadDeadline(ioDeadline()); err != nil {
-		return ClientResult{}, fmt.Errorf("fednet: device %d set read deadline: %w", deviceID, err)
-	}
-	var reply AssignmentReply
-	if err := gob.NewDecoder(conn).Decode(&reply); err != nil {
-		return ClientResult{}, fmt.Errorf("fednet: device %d reply: %w", deviceID, err)
-	}
-	if reply.Err != "" {
-		return ClientResult{}, fmt.Errorf("fednet: device %d rejected by server: %s", deviceID, reply.Err)
-	}
-	if len(reply.Assignments) != cols {
-		return ClientResult{}, fmt.Errorf("fednet: device %d got %d assignments for %d samples",
-			deviceID, len(reply.Assignments), cols)
-	}
-	// Phase 3: local update. With SamplesPerCluster > 1 the local
-	// cluster's label is the majority vote over its samples.
+	return ClientResult{}, fmt.Errorf("fednet: device %d gave up after %d attempts: %w", deviceID, policy.attempts(), lastErr)
+}
+
+// applyPhase3 is the local update: with SamplesPerCluster > 1 the
+// local cluster's label is the majority vote over its samples.
+func applyPhase3(x *mat.Dense, local core.LocalOptions, lr core.LocalResult, assignments []int) ClientResult {
 	spc := local.SamplesPerCluster
 	if spc <= 0 {
 		spc = 1
@@ -84,7 +236,7 @@ func RunClient(conn net.Conn, deviceID int, x *mat.Dense, local core.LocalOption
 	for t, idx := range lr.Partitions {
 		votes := map[int]int{}
 		for s := 0; s < spc; s++ {
-			votes[reply.Assignments[t*spc+s]]++
+			votes[assignments[t*spc+s]]++
 		}
 		best, bestN := 0, -1
 		for lab, n := range votes {
@@ -99,14 +251,98 @@ func RunClient(conn net.Conn, deviceID int, x *mat.Dense, local core.LocalOption
 			labels[i] = best
 		}
 	}
-	return ClientResult{Labels: labels, R: lr.R(), SampleAssignments: sampleLabels}, nil
+	return ClientResult{Labels: labels, R: lr.R(), SampleAssignments: sampleLabels}
 }
 
-// DialAndRun connects to addr over TCP and runs the client protocol.
-func DialAndRun(addr string, deviceID int, x *mat.Dense, local core.LocalOptions, rng *rand.Rand) (ClientResult, error) {
-	conn, err := net.Dial("tcp", addr)
+// RunClientDuplicate participates like RunClientDialer but replays the
+// identical upload on a second connection before reading any reply — a
+// duplicate late connect, the adversarial counterpart of a retry. The
+// server must pool the device exactly once; the superseded connection
+// receives a rejection, which is drained concurrently so the server's
+// reply pass can never block on an unread synchronous transport.
+func RunClientDuplicate(dial func() (net.Conn, error), deviceID int, x *mat.Dense, local core.LocalOptions, policy RetryPolicy, rng *rand.Rand) (ClientResult, error) {
+	lr := core.LocalClusterAndSample(x, local, rng)
+	rows, cols := lr.Samples.Dims()
+	upload := SampleUpload{DeviceID: deviceID, Rows: rows, Cols: cols, Data: lr.Samples.Data()}
+
+	connA, err := dial()
 	if err != nil {
-		return ClientResult{}, fmt.Errorf("fednet: dial %s: %w", addr, err)
+		return ClientResult{}, fmt.Errorf("fednet: device %d dial: %w", deviceID, err)
 	}
-	return RunClient(conn, deviceID, x, local, rng)
+	if err := connA.SetReadDeadline(policy.ioDeadline()); err != nil {
+		_ = connA.Close() // the dial is being abandoned
+		return ClientResult{}, fmt.Errorf("fednet: device %d set read deadline: %w", deviceID, err)
+	}
+	var helloA RoundHello
+	if err := gob.NewDecoder(connA).Decode(&helloA); err != nil {
+		_ = connA.Close() // the exchange failed; nothing acts on the close error
+		return ClientResult{}, fmt.Errorf("fednet: device %d round hello: %w", deviceID, err)
+	}
+	first := upload
+	first.Nonce, first.Attempt = helloA.Nonce, 1
+	if err := connA.SetWriteDeadline(policy.ioDeadline()); err != nil {
+		_ = connA.Close() // the exchange failed; nothing acts on the close error
+		return ClientResult{}, fmt.Errorf("fednet: device %d set write deadline: %w", deviceID, err)
+	}
+	if err := gob.NewEncoder(connA).Encode(first); err != nil {
+		_ = connA.Close() // the exchange failed; nothing acts on the close error
+		return ClientResult{}, fmt.Errorf("fednet: device %d upload: %w", deviceID, err)
+	}
+	go func() {
+		// Drain the rejection the server will send here at round end;
+		// its content is already known ("superseded") and irrelevant.
+		_ = connA.SetReadDeadline(policy.replyDeadline())
+		var rejected AssignmentReply
+		_ = gob.NewDecoder(connA).Decode(&rejected)
+		_ = connA.Close()
+	}()
+
+	second := upload
+	second.Attempt = 2
+	reply, err := func() (AssignmentReply, error) {
+		connB, err := dial()
+		if err != nil {
+			return AssignmentReply{}, fmt.Errorf("fednet: device %d dial: %w", deviceID, err)
+		}
+		return exchange(connB, deviceID, second, policy)
+	}()
+	if err != nil {
+		return ClientResult{}, err
+	}
+	if len(reply.Assignments) != cols {
+		return ClientResult{}, fmt.Errorf("fednet: device %d got %d assignments for %d samples",
+			deviceID, len(reply.Assignments), cols)
+	}
+	res := applyPhase3(x, local, lr, reply.Assignments)
+	res.Attempts = 2
+	return res, nil
+}
+
+// RunClient executes the client protocol on an established connection
+// in a single attempt; the connection is closed before returning. Use
+// RunClientDialer for retry-capable participation.
+func RunClient(conn net.Conn, deviceID int, x *mat.Dense, local core.LocalOptions, rng *rand.Rand) (ClientResult, error) {
+	used := false
+	dial := func() (net.Conn, error) {
+		if used {
+			return nil, errors.New("fednet: single-connection client cannot redial")
+		}
+		used = true
+		return conn, nil
+	}
+	return RunClientDialer(dial, deviceID, x, local, RetryPolicy{}, rng)
+}
+
+// DialAndRun connects to addr over TCP and runs the client protocol in
+// a single attempt.
+func DialAndRun(addr string, deviceID int, x *mat.Dense, local core.LocalOptions, rng *rand.Rand) (ClientResult, error) {
+	return DialAndRunRetry(addr, deviceID, x, local, RetryPolicy{}, rng)
+}
+
+// DialAndRunRetry connects to addr over TCP and runs the client
+// protocol under the given retry policy, dialing a fresh connection
+// per attempt.
+func DialAndRunRetry(addr string, deviceID int, x *mat.Dense, local core.LocalOptions, policy RetryPolicy, rng *rand.Rand) (ClientResult, error) {
+	dial := func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	return RunClientDialer(dial, deviceID, x, local, policy, rng)
 }

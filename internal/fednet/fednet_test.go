@@ -172,12 +172,17 @@ func TestServerRejectsMalformedUpload(t *testing.T) {
 		_, err := srv.ServeConns([]net.Conn{sc})
 		done <- err
 	}()
-	// Send a malformed upload directly.
+	// Complete the hello handshake, then send a malformed upload.
+	dec := gob.NewDecoder(cc)
+	var hello RoundHello
+	if err := dec.Decode(&hello); err != nil {
+		t.Fatalf("decode hello: %v", err)
+	}
 	go func() {
-		gob.NewEncoder(cc).Encode(SampleUpload{DeviceID: 7, Rows: 3, Cols: 2, Data: []float64{1}})
+		gob.NewEncoder(cc).Encode(SampleUpload{DeviceID: 7, Nonce: hello.Nonce, Rows: 3, Cols: 2, Data: []float64{1}})
 	}()
 	var reply AssignmentReply
-	if err := gob.NewDecoder(cc).Decode(&reply); err != nil {
+	if err := dec.Decode(&reply); err != nil {
 		t.Fatalf("decode reply: %v", err)
 	}
 	if reply.Err == "" {
@@ -391,16 +396,16 @@ func TestStragglerRoundUsesActualDeviceCount(t *testing.T) {
 	}
 }
 
-// noDeadlineConn simulates a transport that rejects read deadlines.
+// noDeadlineConn simulates a transport that rejects deadlines.
 type noDeadlineConn struct {
 	net.Conn
 }
 
-func (c noDeadlineConn) SetReadDeadline(time.Time) error {
+func (c noDeadlineConn) SetDeadline(time.Time) error {
 	return errors.New("deadlines unsupported")
 }
 
-// TestStragglerRecordsDeadlineErrors: a transport whose SetReadDeadline
+// TestStragglerRecordsDeadlineErrors: a transport whose SetDeadline
 // fails cannot be bounded by the straggler grace period; the failure
 // must surface in ServeStats.Failures instead of being dropped.
 func TestStragglerRecordsDeadlineErrors(t *testing.T) {

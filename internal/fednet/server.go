@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -18,23 +19,30 @@ import (
 type Server struct {
 	// L is the number of global clusters.
 	L int
-	// Expect is the number of client devices that will connect; the
-	// central clustering runs once all of them have uploaded.
+	// Expect is the number of distinct client devices that will report;
+	// the central clustering runs once all of them have uploaded.
 	Expect int
 	// Central configures the Phase 2 algorithm (SSC by default).
 	Central core.CentralOptions
-	// Seed makes the server-side clustering deterministic.
+	// Seed makes the server-side clustering and the round nonce
+	// deterministic.
 	Seed int64
 	// WaitTimeout, when positive, makes the round straggler-tolerant:
 	// the timer starts at the first accepted connection, and when it
-	// fires the server proceeds with the devices that have connected so
+	// fires the server proceeds with the devices that have uploaded so
 	// far (at least MinClients) instead of blocking on absent devices —
 	// a one-shot scheme cannot wait forever for a phone that went
-	// offline. Zero keeps the strict wait-for-all behaviour.
+	// offline. Zero keeps the strict wait-for-all behaviour. Retrying
+	// devices may reconnect at any point before the round closes,
+	// including during the grace period.
 	WaitTimeout time.Duration
 	// MinClients is the minimum number of devices required to run the
 	// round when WaitTimeout fires (default 1).
 	MinClients int
+	// MaxUploadBytes, when positive, caps the gob-encoded size of a
+	// single upload; a connection exceeding it is rejected before the
+	// oversized payload reaches the decoder's allocations.
+	MaxUploadBytes int64
 	// Export, when set, builds a serving artifact (core.Model: the
 	// per-global-cluster subspace bases estimated from the pooled
 	// samples) after the central clustering and returns it in
@@ -48,64 +56,77 @@ type Server struct {
 
 // ServeStats summarizes one completed aggregation round.
 type ServeStats struct {
-	// UplinkBytes is the gob-encoded uplink volume actually received.
+	// UplinkBytes is the gob-encoded uplink volume actually received,
+	// including aborted partial attempts that were later retried.
 	UplinkBytes int64
+	// DownlinkBytes is the gob-encoded downlink volume actually sent
+	// (round hellos and assignment replies), so the Section IV-E
+	// communication accounting covers both directions.
+	DownlinkBytes int64
 	// Samples is the total number of samples pooled at the server.
 	Samples int
-	// Devices is the number of devices that joined the round (may be
-	// fewer than Server.Expect in straggler-tolerant mode).
+	// Devices is the number of distinct devices whose upload was pooled
+	// (may be fewer than Server.Expect in straggler-tolerant mode).
 	Devices int
-	// Failures describes devices whose upload was rejected or timed out;
-	// only populated in straggler-tolerant mode, where they do not fail
-	// the round.
+	// Retries is how many uploads idempotently replaced an earlier
+	// attempt by the same device (the dedup table's hit count).
+	Retries int
+	// Failures describes connections whose upload was rejected, timed
+	// out, or was superseded by a retry; in straggler-tolerant mode
+	// they do not fail the round.
 	Failures []string
 	// Model is the serving artifact built from the round; only set when
 	// Server.Export is enabled and at least one sample was pooled.
 	Model *core.Model
 }
 
-// Serve accepts exactly s.Expect client connections on ln, collects their
-// uploads, runs the central clustering, and replies to every client with
-// its assignment slice. It returns after all replies are written. The
+// clientState is one accepted connection's protocol state.
+type clientState struct {
+	conn   net.Conn
+	enc    *gob.Encoder
+	upload SampleUpload
+	err    error
+}
+
+// Serve collects uploads from s.Expect distinct devices on ln, runs the
+// central clustering, and replies to every connection with its
+// assignment slice. It returns after all replies are written; the
 // listener is not closed. Serve is a single aggregation round, matching
 // the one-shot nature of the scheme.
+//
+// Client state is keyed by DeviceID and the round nonce: a device that
+// reconnects (its first attempt was reset mid-upload, or it never saw
+// the reply) idempotently replaces its earlier upload instead of being
+// pooled twice, and an upload replayed from a different round carries a
+// stale nonce and is rejected. Connections may therefore outnumber
+// devices; every accepted connection receives a reply.
 func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 	if s.Expect <= 0 {
 		return ServeStats{}, fmt.Errorf("fednet: server expects a positive client count, got %d", s.Expect)
 	}
-	type clientState struct {
-		conn   net.Conn
-		enc    *gob.Encoder
-		upload SampleUpload
-		err    error
-		// deadlineErr is written only by the collect loop (the decode
-		// goroutine owns err until wg.Wait); the two are merged after the
-		// barrier so recording a rejected SetReadDeadline never races the
-		// in-flight decode.
-		deadlineErr error
-	}
-	var clients []*clientState
-	var wg sync.WaitGroup
-	counter := &countingWriter{}
+	nonce := roundNonce(s.Seed)
+	up := &countingWriter{}
+	down := &countingWriter{}
+
 	// Accept in a separate goroutine so the straggler timeout can cut the
 	// wait short; once the round proceeds, late connections are refused.
 	accepted := make(chan net.Conn)
-	acceptErr := make(chan error, 1)
-	done := make(chan struct{})
-	defer close(done)
+	acceptErrCh := make(chan error, 1)
+	doneCh := make(chan struct{})
+	defer close(doneCh)
 	go func() {
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
 				select {
-				case acceptErr <- err:
-				case <-done:
+				case acceptErrCh <- err:
+				case <-doneCh:
 				}
 				return
 			}
 			select {
 			case accepted <- conn:
-			case <-done:
+			case <-doneCh:
 				// The round is over; a Close error on a refused late
 				// connection has no one left to report to.
 				_ = conn.Close()
@@ -113,94 +134,196 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 			}
 		}
 	}()
-	var timeout <-chan time.Time
+
+	// currentDL is the deadline every open connection must carry: zero
+	// (explicitly unbounded) while collecting, the grace deadline once
+	// the straggler timer fires, and "now" when the round closes with
+	// uploads still in flight. Handlers apply it under dlMu so a
+	// deadline change by the collect loop can never be overwritten by a
+	// handler that read the older value.
+	var dlMu sync.Mutex
+	currentDL := time.Time{}
+	applyDL := func(conn net.Conn) error {
+		dlMu.Lock()
+		defer dlMu.Unlock()
+		return conn.SetDeadline(currentDL)
+	}
+
+	arrivals := make(chan *clientState)
+	handle := func(c *clientState) {
+		if err := applyDL(c.conn); err != nil {
+			c.err = fmt.Errorf("fednet: set deadline: %w", err)
+			arrivals <- c
+			return
+		}
+		if err := c.enc.Encode(RoundHello{Nonce: nonce}); err != nil {
+			c.err = fmt.Errorf("fednet: send round hello: %w", err)
+			arrivals <- c
+			return
+		}
+		var r io.Reader = &countingReader{r: c.conn, counter: up}
+		var limited *io.LimitedReader
+		if s.MaxUploadBytes > 0 {
+			limited = &io.LimitedReader{R: r, N: s.MaxUploadBytes + 1}
+			r = limited
+		}
+		if err := gob.NewDecoder(r).Decode(&c.upload); err != nil {
+			if limited != nil && limited.N <= 0 {
+				c.err = fmt.Errorf("fednet: upload exceeds the %d-byte limit", s.MaxUploadBytes)
+			} else {
+				c.err = fmt.Errorf("fednet: decode upload: %w", err)
+			}
+			arrivals <- c
+			return
+		}
+		if c.upload.Nonce != nonce {
+			c.err = fmt.Errorf("fednet: device %d echoed a stale round nonce", c.upload.DeviceID)
+		} else {
+			c.err = c.upload.Validate()
+		}
+		arrivals <- c
+	}
+
+	byDevice := map[int]*clientState{}
+	var failed []*clientState
+	pending := map[*clientState]bool{}
+	retries := 0
+	var timeoutCh <-chan time.Time
+	graceOn := false
+	closing := false
+	acceptCh := accepted
+	var acceptFailure error
+
+	// cut re-arms every pending connection with the (shortened) shared
+	// deadline so stalled uploads resolve instead of holding the round.
+	cut := func(dl time.Time) {
+		dlMu.Lock()
+		currentDL = dl
+		dlMu.Unlock()
+		for c := range pending {
+			if err := applyDL(c.conn); err != nil {
+				// The handler owns c until it arrives; a transport that
+				// rejects deadlines surfaces through its own decode
+				// path, so the rejection is only logged by closing.
+				_ = c.conn.Close()
+			}
+		}
+	}
 	abort := func() {
-		for _, c := range clients {
+		for _, c := range byDevice {
 			// Aborting the round: the devices see the broken pipe; their
 			// Close errors carry no additional signal.
 			_ = c.conn.Close()
 		}
+		for _, c := range failed {
+			_ = c.conn.Close()
+		}
+		for c := range pending {
+			_ = c.conn.Close()
+		}
+		for len(pending) > 0 {
+			c := <-arrivals
+			delete(pending, c)
+		}
 	}
-collect:
-	for len(clients) < s.Expect {
-		select {
-		case conn := <-accepted:
-			c := &clientState{conn: conn}
-			// Strict mode waits for every device by design; make that
-			// unbounded read an explicit deadline decision (clearing it)
-			// so the wire contract is machine-checkable, and surface
-			// transports that reject deadlines — they can never be
-			// bounded by the straggler grace period either.
-			if err := conn.SetReadDeadline(time.Time{}); err != nil {
-				c.deadlineErr = fmt.Errorf("fednet: set read deadline: %w", err)
-			}
-			c.enc = gob.NewEncoder(conn)
-			clients = append(clients, c)
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				cr := &countingReader{r: conn, counter: counter}
-				dec := gob.NewDecoder(cr)
-				if err := dec.Decode(&c.upload); err != nil {
-					c.err = fmt.Errorf("fednet: decode upload: %w", err)
-					return
-				}
-				c.err = c.upload.Validate()
-			}()
-			if s.WaitTimeout > 0 && timeout == nil {
-				timeout = time.After(s.WaitTimeout)
-			}
-		case err := <-acceptErr:
-			abort()
-			return ServeStats{}, fmt.Errorf("fednet: accept: %w", err)
-		case <-timeout:
-			min := s.MinClients
-			if min <= 0 {
-				min = 1
-			}
-			if len(clients) < min {
+
+	minClients := s.MinClients
+	if minClients <= 0 {
+		minClients = 1
+	}
+	for {
+		if !closing {
+			complete := len(byDevice) >= s.Expect ||
+				(s.WaitTimeout <= 0 && len(byDevice)+len(failed) >= s.Expect)
+			if complete {
+				closing = true
+				acceptCh = nil
+				cut(time.Now())
+			} else if acceptFailure != nil && len(pending) == 0 && !graceOn {
+				// The listener died and nothing in flight can complete
+				// the round.
 				abort()
-				return ServeStats{}, fmt.Errorf("fednet: only %d of minimum %d devices connected before the straggler timeout", len(clients), min)
+				return ServeStats{}, fmt.Errorf("fednet: accept: %w", acceptFailure)
+			}
+		}
+		if len(pending) == 0 && (closing || graceOn) {
+			break
+		}
+		select {
+		case conn := <-acceptCh:
+			c := &clientState{conn: conn, enc: gob.NewEncoder(&countedWriter{w: conn, counter: down})}
+			pending[c] = true
+			go handle(c)
+			if s.WaitTimeout > 0 && timeoutCh == nil {
+				timeoutCh = time.After(s.WaitTimeout)
+			}
+		case c := <-arrivals:
+			delete(pending, c)
+			if c.err != nil {
+				failed = append(failed, c)
+				continue
+			}
+			if prev, ok := byDevice[c.upload.DeviceID]; ok {
+				// The dedup table: a re-upload replaces the earlier
+				// attempt — pooling both would corrupt the TSC q-rule
+				// and the labels. The highest attempt number wins (ties
+				// go to the newer arrival), so a slow handler delivering
+				// a dead first attempt late cannot evict the live retry.
+				stale := prev
+				if c.upload.Attempt < prev.upload.Attempt {
+					stale = c
+				} else {
+					byDevice[c.upload.DeviceID] = c
+				}
+				stale.err = fmt.Errorf("fednet: superseded by a newer upload from device %d", stale.upload.DeviceID)
+				failed = append(failed, stale)
+				retries++
+				continue
+			}
+			byDevice[c.upload.DeviceID] = c
+		case err := <-acceptErrCh:
+			acceptFailure = err
+			acceptCh = nil
+		case <-timeoutCh:
+			timeoutCh = nil
+			if len(byDevice)+len(pending) < minClients {
+				abort()
+				return ServeStats{}, fmt.Errorf("fednet: only %d of minimum %d devices connected before the straggler timeout",
+					len(byDevice)+len(pending), minClients)
 			}
 			// Give in-flight uploads a bounded grace period so a stalled
-			// device cannot hold the round hostage.
-			deadline := time.Now().Add(s.WaitTimeout)
-			for _, c := range clients {
-				if err := c.conn.SetReadDeadline(deadline); err != nil {
-					c.deadlineErr = fmt.Errorf("fednet: set read deadline: %w", err)
-				}
-			}
-			break collect
+			// device cannot hold the round hostage; retries arriving
+			// during the grace period are still admitted.
+			graceOn = true
+			cut(time.Now().Add(s.WaitTimeout))
 		}
 	}
-	wg.Wait()
-	// A transport that rejects deadlines cannot be bounded by the grace
-	// period; surface that as a per-device failure rather than dropping
-	// it silently.
-	for _, c := range clients {
-		if c.err == nil && c.deadlineErr != nil {
-			c.err = c.deadlineErr
-		}
+
+	// Pool the valid uploads in ascending DeviceID order, so the label
+	// vector is independent of arrival interleaving — the property the
+	// chaos replay tests pin down.
+	ids := make([]int, 0, len(byDevice))
+	for id := range byDevice {
+		ids = append(ids, id)
 	}
-	// Pool the valid uploads; reject invalid clients explicitly.
+	sort.Ints(ids)
 	var parts []*mat.Dense
-	offsets := make([]int, len(clients))
+	offsets := map[int]int{}
 	total := 0
 	ambient := -1
-	for i, c := range clients {
-		offsets[i] = total
-		if c.err != nil {
-			continue
-		}
-		if ambient < 0 && c.upload.Cols > 0 {
+	for _, id := range ids {
+		c := byDevice[id]
+		if c.upload.Cols > 0 && ambient < 0 {
 			ambient = c.upload.Rows
 		}
 		if c.upload.Cols > 0 && c.upload.Rows != ambient {
 			c.err = fmt.Errorf("fednet: ambient dimension %d differs from %d", c.upload.Rows, ambient)
+			failed = append(failed, c)
+			delete(byDevice, id)
 			continue
 		}
-		m := mat.NewDenseData(c.upload.Rows, c.upload.Cols, c.upload.Data)
-		parts = append(parts, m)
+		offsets[id] = total
+		parts = append(parts, mat.NewDenseData(c.upload.Rows, c.upload.Cols, c.upload.Data))
 		total += c.upload.Cols
 	}
 	var labels []int
@@ -226,45 +349,76 @@ collect:
 			exported = m
 		}
 	}
-	// Reply to every client and close the connections.
-	for i, c := range clients {
-		reply := AssignmentReply{}
-		if c.err != nil {
-			reply.Err = c.err.Error()
-		} else {
-			reply.Assignments = labels[offsets[i] : offsets[i]+c.upload.Cols]
+
+	// Reply to every connection — pooled devices get their assignment
+	// slice, failed and superseded connections the error — and close.
+	// Replies get a fresh write budget: the grace deadline (or the
+	// closing cut) may already be in the past.
+	replyDL := time.Time{}
+	if s.WaitTimeout > 0 {
+		replyDL = time.Now().Add(s.WaitTimeout)
+	}
+	reply := func(c *clientState, r AssignmentReply) {
+		if err := c.conn.SetDeadline(replyDL); err != nil && c.err == nil {
+			c.err = fmt.Errorf("fednet: set reply deadline for device %d: %w", c.upload.DeviceID, err)
 		}
-		if err := c.enc.Encode(reply); err != nil && c.err == nil {
+		if err := c.enc.Encode(r); err != nil && c.err == nil {
 			c.err = fmt.Errorf("fednet: reply to device %d: %w", c.upload.DeviceID, err)
 		}
 		if err := c.conn.Close(); err != nil && c.err == nil {
 			c.err = fmt.Errorf("fednet: close device %d: %w", c.upload.DeviceID, err)
 		}
 	}
-	stats := ServeStats{UplinkBytes: counter.total(), Samples: total, Devices: len(clients), Model: exported}
-	valid := 0
-	for _, c := range clients {
-		if c.err == nil {
-			valid++
-		} else {
+	// Re-read the pooled ids: an ambient mismatch above may have evicted
+	// a device after the first sweep.
+	ids = ids[:0]
+	for id := range byDevice {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		c := byDevice[id]
+		reply(c, AssignmentReply{Assignments: labels[offsets[id] : offsets[id]+c.upload.Cols]})
+	}
+	for _, c := range failed {
+		reply(c, AssignmentReply{Err: c.err.Error()})
+	}
+
+	stats := ServeStats{
+		UplinkBytes:   up.total(),
+		DownlinkBytes: down.total(),
+		Samples:       total,
+		Devices:       len(byDevice),
+		Retries:       retries,
+		Model:         exported,
+	}
+	for _, c := range failed {
+		stats.Failures = append(stats.Failures,
+			fmt.Sprintf("device %d: %v", c.upload.DeviceID, c.err))
+	}
+	for _, id := range ids {
+		if c := byDevice[id]; c.err != nil {
 			stats.Failures = append(stats.Failures,
 				fmt.Sprintf("device %d: %v", c.upload.DeviceID, c.err))
 		}
 	}
+	// Failure arrival order depends on goroutine interleaving; sorting
+	// keeps ServeStats bit-identical across replays of a seeded round.
+	sort.Strings(stats.Failures)
 	if s.WaitTimeout > 0 {
 		// Straggler-tolerant mode: the round succeeds as long as enough
 		// devices made it; individual failures are reported in stats.
-		min := s.MinClients
-		if min <= 0 {
-			min = 1
-		}
-		if valid < min {
-			return stats, fmt.Errorf("fednet: only %d of minimum %d devices uploaded successfully", valid, min)
+		if len(byDevice) < minClients {
+			return stats, fmt.Errorf("fednet: only %d of minimum %d devices uploaded successfully", len(byDevice), minClients)
 		}
 		return stats, nil
 	}
-	for _, c := range clients {
-		if c.err != nil {
+	if len(failed) > 0 {
+		c := failed[0]
+		return stats, fmt.Errorf("fednet: device %d failed: %w", c.upload.DeviceID, c.err)
+	}
+	for _, id := range ids {
+		if c := byDevice[id]; c.err != nil {
 			return stats, fmt.Errorf("fednet: device %d failed: %w", c.upload.DeviceID, c.err)
 		}
 	}
@@ -310,15 +464,3 @@ type staticAddr struct{}
 
 func (staticAddr) Network() string { return "static" }
 func (staticAddr) String() string  { return "static" }
-
-// countingReader counts bytes flowing through a reader.
-type countingReader struct {
-	r       io.Reader
-	counter *countingWriter
-}
-
-func (c *countingReader) Read(p []byte) (int, error) {
-	n, err := c.r.Read(p)
-	c.counter.add(n)
-	return n, err
-}

@@ -11,10 +11,13 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
+	"fedsc/internal/chaos"
 	"fedsc/internal/core"
+	"fedsc/internal/fednet"
 	"fedsc/internal/mat"
 	"fedsc/internal/synth"
 )
@@ -89,6 +92,61 @@ func MulTA(b *testing.B) {
 	}
 }
 
+// FedSCRoundUnderLatency measures a complete networked round — four
+// devices dialing through the chaos transport with 2ms±1ms scripted
+// latency per link — so regressions in the retry/dedup/reply path show
+// up as wall-clock, not just as kernel time.
+func FedSCRoundUnderLatency(b *testing.B) {
+	const z, l = 4, 4
+	rng := rand.New(rand.NewSource(3))
+	s := synth.RandomSubspaces(40, 3, l, rng)
+	devices := make([]*mat.Dense, z)
+	for dev := range devices {
+		clusters := rng.Perm(l)[:2]
+		counts := make([]int, l)
+		for _, c := range clusters {
+			counts[c] = 8
+		}
+		devices[dev] = s.SampleCounts(counts, rng).X
+	}
+	policy := fednet.RetryPolicy{
+		MaxAttempts: 2, BaseDelay: 10 * time.Millisecond,
+		Timeout: 2 * time.Second, ReplyTimeout: 10 * time.Second,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched := &chaos.Schedule{
+			Seed:    int64(i),
+			Default: chaos.Script{Latency: 2 * time.Millisecond, Jitter: time.Millisecond},
+		}
+		pn := chaos.NewPipeNet()
+		srv := &fednet.Server{L: l, Expect: z, Seed: int64(i), WaitTimeout: 5 * time.Second}
+		done := make(chan error, 1)
+		go func() {
+			_, err := srv.Serve(pn.Listener())
+			done <- err
+		}()
+		var wg sync.WaitGroup
+		for dev := 0; dev < z; dev++ {
+			wg.Add(1)
+			go func(dev int) {
+				defer wg.Done()
+				_, err := fednet.RunClientDialer(sched.Dialer(dev, pn.Dial), dev, devices[dev],
+					core.LocalOptions{UseEigengap: true}, policy,
+					rand.New(rand.NewSource(int64(100*i+dev))))
+				if err != nil {
+					b.Errorf("iteration %d device %d: %v", i, dev, err)
+				}
+			}(dev)
+		}
+		wg.Wait()
+		if err := <-done; err != nil {
+			b.Fatalf("iteration %d server: %v", i, err)
+		}
+		pn.Close()
+	}
+}
+
 // Named pairs a stable benchmark name with its body. Names match the
 // root-level `Benchmark<Name>` functions.
 type Named struct {
@@ -104,6 +162,7 @@ func Suite() []Named {
 		{"MulTA", MulTA},
 		{"LocalClusterAndSample", LocalClusterAndSample},
 		{"FedSCRound", FedSCRound},
+		{"FedSCRoundUnderLatency", FedSCRoundUnderLatency},
 	}
 }
 
