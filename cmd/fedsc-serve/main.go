@@ -31,6 +31,7 @@ import (
 
 	"fedsc/internal/core"
 	"fedsc/internal/fednet"
+	"fedsc/internal/obs"
 	"fedsc/internal/serve"
 )
 
@@ -50,8 +51,17 @@ func main() {
 		batchWait = flag.Duration("batch-wait", 200*time.Microsecond, "how long to hold an underfull batch open")
 		workers   = flag.Int("workers", 0, "batch workers (0 = GOMAXPROCS)")
 		grace     = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain window")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, obs.Default(), nil)
+		if err != nil {
+			fatalf("debug listener: %v", err)
+		}
+		log.Printf("fedsc-serve: debug endpoints on http://%s/metrics and /debug/pprof/", dbg)
+	}
 
 	reg := serve.NewRegistry()
 	switch {
@@ -85,7 +95,10 @@ func main() {
 		fatalf("need -model <artifact> or -train (see -h)")
 	}
 
-	metrics := serve.NewMetrics()
+	// Publish the serving metrics on the process-wide registry so one
+	// scrape of -debug-addr (or the handler's own /metrics) shows the
+	// serve counters next to the fednet/core round metrics.
+	metrics := serve.NewMetricsOn(obs.Default())
 	batcher := serve.NewBatcher(reg, metrics, serve.BatcherOptions{
 		MaxBatch: *maxBatch,
 		MaxWait:  *batchWait,

@@ -18,18 +18,28 @@ import (
 
 	"fedsc/internal/core"
 	"fedsc/internal/fednet"
+	"fedsc/internal/obs"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":7070", "listen address")
-		clients = flag.Int("clients", 4, "number of client devices to wait for")
-		l       = flag.Int("L", 20, "number of global clusters")
-		central = flag.String("central", "ssc", "central clustering: ssc or tsc")
-		seed    = flag.Int64("seed", 1, "server random seed")
-		save    = flag.String("save", "", "save the serving artifact here after the round")
+		addr      = flag.String("addr", ":7070", "listen address")
+		clients   = flag.Int("clients", 4, "number of client devices to wait for")
+		l         = flag.Int("L", 20, "number of global clusters")
+		central   = flag.String("central", "ssc", "central clustering: ssc or tsc")
+		seed      = flag.Int64("seed", 1, "server random seed")
+		save      = flag.String("save", "", "save the serving artifact here after the round")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		dbg, err := obs.ServeDebug(*debugAddr, obs.Default(), nil)
+		if err != nil {
+			log.Fatalf("fedsc-server: debug listener: %v", err)
+		}
+		log.Printf("fedsc-server: debug endpoints on http://%s/metrics and /debug/pprof/", dbg)
+	}
 
 	method := core.CentralSSC
 	switch *central {

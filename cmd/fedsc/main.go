@@ -20,6 +20,7 @@ import (
 	"fedsc/internal/kfed"
 	"fedsc/internal/mat"
 	"fedsc/internal/metrics"
+	"fedsc/internal/obs"
 	"fedsc/internal/subspace"
 	"fedsc/internal/synth"
 )
@@ -37,10 +38,14 @@ func main() {
 		noise   = flag.Float64("noise", 0, "channel-noise δ for Fed-SC uploads")
 		seed    = flag.Int64("seed", 1, "random seed")
 		save    = flag.String("save", "", "save the serving artifact here (fedsc-ssc/fedsc-tsc only)")
+		trace   = flag.String("trace", "", "write the round's span tree as canonical JSONL here and render a waterfall (fedsc-ssc/fedsc-tsc only)")
 	)
 	flag.Parse()
 	if *save != "" && *method != "fedsc-ssc" && *method != "fedsc-tsc" {
 		fatalf("-save requires -method fedsc-ssc or fedsc-tsc (got %q)", *method)
+	}
+	if *trace != "" && *method != "fedsc-ssc" && *method != "fedsc-tsc" {
+		fatalf("-trace requires -method fedsc-ssc or fedsc-tsc (got %q)", *method)
 	}
 	rng := rand.New(rand.NewSource(*seed))
 
@@ -104,14 +109,24 @@ func main() {
 		if *method == "fedsc-tsc" {
 			m = core.CentralTSC
 		}
+		var tracer *obs.Tracer
+		if *trace != "" {
+			tracer = obs.NewTracer(nil)
+		}
 		res := core.Run(devices, numClusters, core.Options{
 			Local:      core.LocalOptions{UseEigengap: true, RMax: 2 * lp},
 			Central:    core.CentralOptions{Method: m},
 			NoiseDelta: *noise,
+			Trace:      tracer,
 		}, rng)
 		pred = core.FlattenLabels(res.Labels)
 		fmt.Printf("sum_r=%d uplink=%d bits downlink=%d bits central=%.2fs\n",
 			sum(res.RPerDevice), res.UplinkBits, res.DownlinkBits, res.CentralTime.Seconds())
+		if *trace != "" {
+			if err := writeTrace(tracer, *trace); err != nil {
+				fatalf("write trace: %v", err)
+			}
+		}
 		if *save != "" {
 			model, err := core.ModelFromResult(res, numClusters, 0, m)
 			if err != nil {
@@ -131,6 +146,26 @@ func main() {
 	}
 	report(*method, ds.N(), numClusters, lp, part.Z(),
 		metrics.Accuracy(flatTruth, pred), metrics.NMI(flatTruth, pred), time.Since(start))
+}
+
+// writeTrace saves the canonical (wall-clock-free, hence seed-stable)
+// span export to path and renders the timed waterfall to stderr so the
+// human-readable view never pollutes stdout or the JSONL artifact.
+func writeTrace(tracer *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSONL(f, false); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote span trace to %s\n", path)
+	tracer.Waterfall(os.Stderr)
+	return nil
 }
 
 func report(method string, n, l, lp, z int, acc, nmi float64, elapsed time.Duration) {

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"fedsc/internal/obs"
+)
+
+// TestTraceObserverMirrorsEventsIntoSpans pins the obs bridge: every
+// fault-trace record doubles as a span event on the observing tracer,
+// in per-device injection order, and the canonical span export is
+// independent of cross-device interleaving.
+func TestTraceObserverMirrorsEventsIntoSpans(t *testing.T) {
+	export := func(devORder []int) (string, *Trace) {
+		tr := NewTrace()
+		tracer := obs.NewTracer(nil)
+		root := tracer.Start("chaos.round")
+		spans := map[int]*obs.Span{}
+		for _, dev := range devORder {
+			spans[dev] = root.Start("device", obs.Int("device", dev))
+		}
+		tr.Observe(func(device int, event string) {
+			spans[device].Eventf("%s", event)
+		})
+		var wg sync.WaitGroup
+		for _, dev := range devORder {
+			wg.Add(1)
+			go func(dev int) {
+				defer wg.Done()
+				tr.Record(dev, "attempt %d: reset write at %d B", 1, 64*dev)
+				tr.Record(dev, "attempt %d: latency 2ms", 2)
+			}(dev)
+		}
+		wg.Wait()
+		for _, s := range spans {
+			s.End()
+		}
+		root.End()
+		var b strings.Builder
+		if err := tracer.WriteJSONL(&b, false); err != nil {
+			t.Fatal(err)
+		}
+		return b.String(), tr
+	}
+	a, trace := export([]int{0, 1, 2, 3})
+	b, _ := export([]int{3, 2, 1, 0})
+	if a != b {
+		t.Fatalf("canonical chaos span export depends on interleaving:\n%s\nvs\n%s", a, b)
+	}
+	// Per-device order is preserved: reset before latency.
+	for dev := 0; dev < 4; dev++ {
+		evs := trace.Events(dev)
+		if len(evs) != 2 || !strings.Contains(evs[0], "reset write") || !strings.Contains(evs[1], "latency") {
+			t.Fatalf("device %d events out of order: %v", dev, evs)
+		}
+	}
+	if !strings.Contains(a, "reset write at 128 B") {
+		t.Fatalf("span export missing mirrored event:\n%s", a)
+	}
+}
+
+// TestTraceObserverNilSafe ensures detaching and nil traces stay no-ops.
+func TestTraceObserverNilSafe(t *testing.T) {
+	var nilTrace *Trace
+	nilTrace.Observe(func(int, string) { t.Fatal("observer on nil trace") })
+	nilTrace.Record(0, "dropped")
+
+	tr := NewTrace()
+	calls := 0
+	tr.Observe(func(int, string) { calls++ })
+	tr.Record(1, "one")
+	tr.Observe(nil)
+	tr.Record(1, "two")
+	if calls != 1 {
+		t.Fatalf("observer called %d times, want 1", calls)
+	}
+	if got := len(tr.Events(1)); got != 2 {
+		t.Fatalf("trace kept %d events, want 2", got)
+	}
+}

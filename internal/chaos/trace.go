@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"fedsc/internal/obs"
 )
 
 // Trace records every injected fault. Events are kept per device in
@@ -14,13 +16,34 @@ import (
 // deterministic function of its script and rng, and across devices the
 // rendering order is fixed.
 type Trace struct {
-	mu     sync.Mutex
-	events map[int][]string
+	mu       sync.Mutex
+	events   map[int][]string
+	observer func(device int, event string)
 }
 
 // NewTrace returns an empty recorder.
 func NewTrace() *Trace {
 	return &Trace{events: make(map[int][]string)}
+}
+
+// faultEvents counts every recorded fault process-wide, so a scrape of
+// /metrics shows chaos pressure next to the fednet retry counters it
+// causes.
+var faultEvents = obs.Default().Counter("fedsc_chaos_fault_events_total",
+	"Injected fault events recorded across all chaos traces.")
+
+// Observe registers fn to receive every recorded event in addition to
+// the log — the bridge that lets fault-trace records double as obs span
+// events. fn is called synchronously from the injecting goroutine, so
+// events for one device arrive in injection order; a nil fn detaches
+// the observer.
+func (t *Trace) Observe(fn func(device int, event string)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.observer = fn
+	t.mu.Unlock()
 }
 
 // Record appends one formatted event to the device's log. A nil Trace
@@ -35,7 +58,12 @@ func (t *Trace) Record(device int, format string, args ...any) {
 		t.events = make(map[int][]string)
 	}
 	t.events[device] = append(t.events[device], msg)
+	observer := t.observer
 	t.mu.Unlock()
+	faultEvents.Inc()
+	if observer != nil {
+		observer(device, msg)
+	}
 }
 
 // Reset clears the log for a fresh run.

@@ -1,0 +1,38 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/synth"
+)
+
+// TestAggregateRejectsMismatchedAmbient is the regression test for the
+// silent devices[0].Rows() read in the communication accounting: a
+// device whose data lives in a different ambient space must fail loudly
+// at aggregation instead of corrupting the uplink arithmetic (and the
+// pooled clustering) downstream.
+func TestAggregateRejectsMismatchedAmbient(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	mk := func(ambient int) (*synth.Dataset, LocalResult) {
+		s := synth.RandomSubspaces(ambient, 2, 2, rng)
+		ds := s.Sample(8, rng)
+		return &ds, LocalClusterAndSample(ds.X, LocalOptions{UseEigengap: true}, rng)
+	}
+	ds0, lr0 := mk(15)
+	ds1, lr1 := mk(17) // disagrees with device 0's ambient dimension
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Aggregate accepted devices with mismatched ambient dimensions")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "ambient dimension") {
+			t.Fatalf("panic %v does not name the ambient mismatch", r)
+		}
+	}()
+	Aggregate([]*mat.Dense{ds0.X, ds1.X}, []LocalResult{lr0, lr1}, 2, Options{}, rng)
+}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"fedsc/internal/mat"
+	"fedsc/internal/obs"
 	"fedsc/internal/privacy"
 	"fedsc/internal/sparse"
 	"fedsc/internal/subspace"
@@ -103,6 +104,23 @@ type Options struct {
 	// privacy-utility direction). Composition across a device's r⁽ᶻ⁾
 	// releases is the caller's accounting concern (privacy.Compose).
 	DP *privacy.Params
+	// Obs receives the round metrics (per-phase latencies, pooled
+	// sample counts, uplink/downlink bits); nil publishes to the
+	// process-wide obs.Default registry.
+	Obs *obs.Registry
+	// Trace, when non-nil, records the round's phase tree — per-device
+	// local clustering/sampling, the upload release path, central
+	// clustering, relabeling — as obs spans. Nil disables tracing at
+	// the cost of one pointer check per phase.
+	Trace *obs.Tracer
+}
+
+// reg resolves the metrics destination.
+func (o Options) reg() *obs.Registry {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return obs.Default()
 }
 
 func (o Options) withDefaults() Options {

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"fedsc/internal/mat"
+	"fedsc/internal/obs"
 	"fedsc/internal/privacy"
 	"fedsc/internal/subspace"
 )
@@ -18,7 +21,10 @@ import (
 func Run(devices []*mat.Dense, l int, opts Options, rng *rand.Rand) Result {
 	opts = opts.withDefaults()
 	z := len(devices)
+	root := opts.Trace.Start("fedsc.round", obs.Int("devices", z), obs.Int("L", l))
+	defer root.End()
 	// Phase 1: local clustering and sampling on every device.
+	phase1 := root.Start("phase1.local")
 	locals := make([]LocalResult, z)
 	seeds := make([]int64, z)
 	for i := range seeds {
@@ -26,11 +32,16 @@ func Run(devices []*mat.Dense, l int, opts Options, rng *rand.Rand) Result {
 	}
 	mat.Parallel(z, 1<<30, func(lo, hi int) {
 		for dev := lo; dev < hi; dev++ {
+			ds := phase1.Start("device.local", obs.Int("device", dev))
 			locals[dev] = LocalClusterAndSample(devices[dev], opts.Local, rand.New(rand.NewSource(seeds[dev])))
+			ds.SetAttr("r", strconv.Itoa(locals[dev].R()))
+			ds.End()
 		}
 	})
+	phase1.End()
 	// Upload path: DP release, then quantization, then channel noise —
 	// the order a real deployment would apply them in.
+	release := root.Start("upload.release")
 	if opts.DP != nil {
 		for dev := range locals {
 			if _, err := privacy.GaussianMechanism(locals[dev].Samples, *opts.DP, rng); err != nil {
@@ -51,7 +62,8 @@ func Run(devices []*mat.Dense, l int, opts Options, rng *rand.Rand) Result {
 			addChannelNoise(locals[dev].Samples, locals[dev].R(), opts.NoiseDelta, rng)
 		}
 	}
-	return Aggregate(devices, locals, l, opts, rng)
+	release.End()
+	return aggregate(root, devices, locals, l, opts, rng)
 }
 
 // Aggregate performs Phases 2 and 3 given every device's Phase 1 output:
@@ -61,7 +73,27 @@ func Run(devices []*mat.Dense, l int, opts Options, rng *rand.Rand) Result {
 // network between the phases.
 func Aggregate(devices []*mat.Dense, locals []LocalResult, l int, opts Options, rng *rand.Rand) Result {
 	opts = opts.withDefaults()
+	root := opts.Trace.Start("fedsc.aggregate", obs.Int("devices", len(devices)), obs.Int("L", l))
+	defer root.End()
+	return aggregate(root, devices, locals, l, opts, rng)
+}
+
+// aggregate is Phases 2 and 3 under an already-opened parent span;
+// opts must have defaults applied.
+func aggregate(parent *obs.Span, devices []*mat.Dense, locals []LocalResult, l int, opts Options, rng *rand.Rand) Result {
 	z := len(devices)
+	// The pooled clustering and the Section IV-E accounting both assume
+	// one shared ambient space; a device that disagrees would silently
+	// corrupt the uplink arithmetic below, so fail loudly instead.
+	if z > 0 {
+		n0 := devices[0].Rows()
+		for dev := 1; dev < z; dev++ {
+			if devices[dev].Rows() != n0 {
+				panic(fmt.Sprintf("core: device %d has ambient dimension %d but device 0 has %d; all devices must share one ambient space",
+					dev, devices[dev].Rows(), n0))
+			}
+		}
+	}
 	spc := opts.Local.SamplesPerCluster
 	// Pool all samples, remembering per-device offsets.
 	matrices := make([]*mat.Dense, z)
@@ -74,9 +106,12 @@ func Aggregate(devices []*mat.Dense, locals []LocalResult, l int, opts Options, 
 	}
 	theta := mat.HStack(matrices...)
 	// Phase 2: central clustering of the pooled samples.
+	phase2 := parent.Start("phase2.central", obs.Int("samples", total))
 	centralStart := time.Now()
 	central := CentralCluster(theta, z, l, opts.Central, rng)
 	centralTime := time.Since(centralStart)
+	phase2.End()
+	phase3 := parent.Start("phase3.relabel")
 	// Phase 3: local update — every point inherits the global label of
 	// its local cluster. With SamplesPerCluster > 1 the cluster label is
 	// the majority vote over its samples.
@@ -118,7 +153,9 @@ func Aggregate(devices []*mat.Dense, locals []LocalResult, l int, opts Options, 
 		}
 		res.Labels[dev] = labels
 	}
-	// Communication accounting (Section IV-E).
+	phase3.End()
+	// Communication accounting (Section IV-E). The shared ambient
+	// dimension was validated on entry.
 	n := 0
 	if z > 0 {
 		n = devices[0].Rows()
@@ -142,8 +179,34 @@ func Aggregate(devices []*mat.Dense, locals []LocalResult, l int, opts Options, 
 	// basis from the pooled samples it received. The pooled matrix is
 	// tiny (Σr⁽ᶻ⁾ columns), so this costs a vanishing fraction of
 	// Phase 2 and makes every Result directly servable.
+	export := parent.Start("export.bases")
 	res.GlobalBases, res.GlobalDims = GlobalBases(theta, central.Labels, l, opts.Local.TargetDim)
+	export.End()
+	publishRound(opts.reg(), res, total)
 	return res
+}
+
+// publishRound pushes one round's phase latencies and volumes into the
+// metrics registry — the per-phase numbers that used to exist only as
+// ad-hoc fields on Result.
+func publishRound(reg *obs.Registry, res Result, pooled int) {
+	phaseBounds := []float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60}
+	reg.Counter("fedsc_core_rounds_total", "Fed-SC aggregation rounds completed.").Inc()
+	local := reg.Histogram("fedsc_core_local_seconds", "Per-device Phase 1 (local cluster + sample) wall time.", phaseBounds)
+	clusters := reg.Histogram("fedsc_core_local_clusters", "Local clusters r per device.",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	for dev, d := range res.LocalTime {
+		local.Observe(d.Seconds())
+		clusters.Observe(float64(res.RPerDevice[dev]))
+	}
+	reg.Histogram("fedsc_core_central_seconds", "Phase 2 (central clustering) wall time.", phaseBounds).
+		Observe(res.CentralTime.Seconds())
+	reg.Histogram("fedsc_core_round_seconds", "Critical-path round wall time (slowest device + central).", phaseBounds).
+		Observe(res.ParallelTime.Seconds())
+	reg.Histogram("fedsc_core_pooled_samples", "Samples pooled at the server per round.",
+		[]float64{1, 4, 16, 64, 256, 1024, 4096}).Observe(float64(pooled))
+	reg.Counter("fedsc_core_uplink_bits_total", "Uplink volume per the Section IV-E accounting.").Add(res.UplinkBits)
+	reg.Counter("fedsc_core_downlink_bits_total", "Downlink volume per the Section IV-E accounting.").Add(res.DownlinkBits)
 }
 
 // CentralCluster runs Phase 2 at the server: it clusters the pooled

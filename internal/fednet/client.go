@@ -10,6 +10,7 @@ import (
 
 	"fedsc/internal/core"
 	"fedsc/internal/mat"
+	"fedsc/internal/obs"
 )
 
 // IOTimeout bounds each network operation of the client protocol: the
@@ -191,14 +192,18 @@ func RunClientDialer(dial func() (net.Conn, error), deviceID int, x *mat.Dense, 
 		Cols:     cols,
 		Data:     lr.Samples.Data(),
 	}
+	reg := obs.Default()
 	var lastErr error
 	for attempt := 1; attempt <= policy.attempts(); attempt++ {
 		if attempt > 1 {
+			reg.Counter("fedsc_fednet_client_retries_total", "Client exchange attempts beyond the first.").Inc()
 			time.Sleep(policy.Backoff(attempt-1, rng))
 		}
+		reg.Counter("fedsc_fednet_client_attempts_total", "Client connection attempts, including retries.").Inc()
 		upload.Attempt = attempt
 		conn, err := dial()
 		if err != nil {
+			reg.Counter("fedsc_fednet_client_dial_errors_total", "Client dial attempts that failed before the exchange.").Inc()
 			lastErr = fmt.Errorf("fednet: device %d dial: %w", deviceID, err)
 			continue
 		}
@@ -209,18 +214,22 @@ func RunClientDialer(dial func() (net.Conn, error), deviceID int, x *mat.Dense, 
 			if errors.As(err, &rejected) {
 				// The server saw the upload and said no; the identical
 				// payload cannot fare better on a retry.
+				reg.Counter("fedsc_fednet_client_rejections_total", "Uploads the server answered with a rejection.").Inc()
 				break
 			}
+			reg.Counter("fedsc_fednet_client_exchange_errors_total", "Exchanges that died mid-wire (reset, timeout, decode failure).").Inc()
 			continue
 		}
 		if len(reply.Assignments) != cols {
 			return ClientResult{}, fmt.Errorf("fednet: device %d got %d assignments for %d samples",
 				deviceID, len(reply.Assignments), cols)
 		}
+		reg.Counter("fedsc_fednet_client_rounds_total", "Client round participations that completed Phase 3.").Inc()
 		res := applyPhase3(x, local, lr, reply.Assignments)
 		res.Attempts = attempt
 		return res, nil
 	}
+	reg.Counter("fedsc_fednet_client_gaveups_total", "Client participations abandoned after exhausting the retry budget.").Inc()
 	return ClientResult{}, fmt.Errorf("fednet: device %d gave up after %d attempts: %w", deviceID, policy.attempts(), lastErr)
 }
 

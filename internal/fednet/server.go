@@ -12,6 +12,7 @@ import (
 
 	"fedsc/internal/core"
 	"fedsc/internal/mat"
+	"fedsc/internal/obs"
 )
 
 // Server aggregates one-shot Fed-SC uploads and answers each client with
@@ -52,6 +53,22 @@ type Server struct {
 	// ExportDim forces the per-cluster basis dimension of the exported
 	// model (the paper's d_t shortcut); zero estimates it per cluster.
 	ExportDim int
+	// Obs receives the wire metrics of every round (uplink/downlink
+	// bytes, retries, supersedes, round latency); nil publishes to the
+	// process-wide obs.Default registry.
+	Obs *obs.Registry
+	// Trace, when non-nil, records the round's phase tree — collect
+	// (with one zero-width span per accepted upload), central
+	// clustering, and the reply fan-out.
+	Trace *obs.Tracer
+}
+
+// reg resolves the metrics destination.
+func (s *Server) reg() *obs.Registry {
+	if s.Obs != nil {
+		return s.Obs
+	}
+	return obs.Default()
 }
 
 // ServeStats summarizes one completed aggregation round.
@@ -107,6 +124,10 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 	nonce := roundNonce(s.Seed)
 	up := &countingWriter{}
 	down := &countingWriter{}
+	roundStart := time.Now()
+	root := s.Trace.Start("fednet.round", obs.Int("expect", s.Expect), obs.Int("L", s.L))
+	defer root.End()
+	collect := root.Start("collect")
 
 	// Accept in a separate goroutine so the straggler timeout can cut the
 	// wait short; once the round proceeds, late connections are refused.
@@ -210,6 +231,7 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 		}
 	}
 	abort := func() {
+		s.reg().Counter("fedsc_fednet_rounds_aborted_total", "Rounds aborted before the reply phase (listener death or too few devices).").Inc()
 		for _, c := range byDevice {
 			// Aborting the round: the devices see the broken pipe; their
 			// Close errors carry no additional signal.
@@ -259,6 +281,11 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 			}
 		case c := <-arrivals:
 			delete(pending, c)
+			sp := collect.Start("upload", obs.Int("device", c.upload.DeviceID), obs.Int("attempt", c.upload.Attempt))
+			if c.err != nil {
+				sp.SetAttr("err", c.err.Error())
+			}
+			sp.End()
 			if c.err != nil {
 				failed = append(failed, c)
 				continue
@@ -299,6 +326,7 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 		}
 	}
 
+	collect.End()
 	// Pool the valid uploads in ascending DeviceID order, so the label
 	// vector is independent of arrival interleaving — the property the
 	// chaos replay tests pin down.
@@ -328,6 +356,7 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 	}
 	var labels []int
 	var exported *core.Model
+	phase2 := root.Start("central", obs.Int("devices", len(parts)), obs.Int("samples", total))
 	if total > 0 {
 		theta := mat.HStack(parts...)
 		rng := rand.New(rand.NewSource(s.Seed))
@@ -349,6 +378,8 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 			exported = m
 		}
 	}
+	phase2.End()
+	replySpan := root.Start("reply")
 
 	// Reply to every connection — pooled devices get their assignment
 	// slice, failed and superseded connections the error — and close.
@@ -383,6 +414,7 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 	for _, c := range failed {
 		reply(c, AssignmentReply{Err: c.err.Error()})
 	}
+	replySpan.End()
 
 	stats := ServeStats{
 		UplinkBytes:   up.total(),
@@ -405,6 +437,7 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 	// Failure arrival order depends on goroutine interleaving; sorting
 	// keeps ServeStats bit-identical across replays of a seeded round.
 	sort.Strings(stats.Failures)
+	s.publish(stats, time.Since(roundStart))
 	if s.WaitTimeout > 0 {
 		// Straggler-tolerant mode: the round succeeds as long as enough
 		// devices made it; individual failures are reported in stats.
@@ -423,6 +456,24 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 		}
 	}
 	return stats, nil
+}
+
+// publish pushes one completed round's wire totals into the metrics
+// registry. Aborted rounds (listener death, too few devices) never
+// reach it; they only bump fedsc_fednet_rounds_aborted_total.
+func (s *Server) publish(stats ServeStats, elapsed time.Duration) {
+	reg := s.reg()
+	reg.Counter("fedsc_fednet_rounds_total", "Aggregation rounds that reached the reply phase.").Inc()
+	reg.Counter("fedsc_fednet_uplink_bytes_total", "Gob-encoded upload bytes received, including aborted partial attempts.").Add(stats.UplinkBytes)
+	reg.Counter("fedsc_fednet_downlink_bytes_total", "Gob-encoded bytes sent to devices (round hellos and replies).").Add(stats.DownlinkBytes)
+	reg.Counter("fedsc_fednet_supersedes_total", "Uploads idempotently replaced by a newer attempt from the same device.").Add(int64(stats.Retries))
+	reg.Counter("fedsc_fednet_upload_failures_total", "Connections whose upload was rejected, timed out, or superseded.").Add(int64(len(stats.Failures)))
+	reg.Histogram("fedsc_fednet_round_devices", "Distinct devices pooled per round.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}).Observe(float64(stats.Devices))
+	reg.Histogram("fedsc_fednet_round_samples", "Samples pooled per round.",
+		[]float64{1, 4, 16, 64, 256, 1024, 4096}).Observe(float64(stats.Samples))
+	reg.Histogram("fedsc_fednet_round_seconds", "Wall time of a full aggregation round.",
+		[]float64{0.001, 0.01, 0.1, 1, 10, 60}).Observe(elapsed.Seconds())
 }
 
 // ServeConns is Serve for pre-established connections (e.g. net.Pipe in

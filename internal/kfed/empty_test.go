@@ -1,0 +1,79 @@
+package kfed
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsc/internal/mat"
+)
+
+// dupDevice builds a device whose n points are all copies of v
+// (columns = points), so k-means can occupy at most one cluster no
+// matter how large KLocal is.
+func dupDevice(v []float64, n int) *mat.Dense {
+	x := mat.NewDense(len(v), n)
+	for j := 0; j < n; j++ {
+		x.SetCol(j, v)
+	}
+	return x
+}
+
+// TestRunDropsEmptyLocalClusters is the regression test for the
+// empty-centroid upload bug: with KLocal above the number of occupied
+// local clusters, each device used to upload zero rows for its empty
+// clusters. Those rows counted toward UplinkFloats, and — because the
+// origin is farther from the data centroids than they are from each
+// other — the server's farthest-first traversal seeded a global center
+// on them, merging the two real clusters into one.
+func TestRunDropsEmptyLocalClusters(t *testing.T) {
+	const ambient, perDev, kLocal = 4, 6, 3
+	p := []float64{10, 0, 0, 0}
+	q := []float64{12, 0, 0, 0}
+	devices := []*mat.Dense{dupDevice(p, perDev), dupDevice(q, perDev)}
+	for seed := int64(1); seed <= 5; seed++ {
+		res := Run(devices, 2, rand.New(rand.NewSource(seed)), Options{KLocal: kLocal})
+		// One occupied cluster per device: exactly two centroids uploaded.
+		if want := 2 * ambient; res.UplinkFloats != want {
+			t.Fatalf("seed %d: UplinkFloats = %d, want %d (empty clusters counted as uploads)",
+				seed, res.UplinkFloats, want)
+		}
+		// p and q are 2 apart but 10+ from the origin, so any phantom
+		// zero centroid captures a global center and both devices end up
+		// with the same label; with empties dropped they must differ.
+		if res.Labels[0][0] == res.Labels[1][0] {
+			t.Fatalf("seed %d: devices with distinct data share global label %d (zero centroid seeded a center)",
+				seed, res.Labels[0][0])
+		}
+		for dev, labels := range res.Labels {
+			for i, l := range labels {
+				if l != labels[0] {
+					t.Fatalf("seed %d: device %d point %d label %d != %d", seed, dev, i, l, labels[0])
+				}
+			}
+		}
+	}
+}
+
+// TestCentroidsInAmbientRemap pins the unit behavior: empty clusters
+// vanish, survivors keep their relative order, and labels follow.
+func TestCentroidsInAmbientRemap(t *testing.T) {
+	// Three points in R², labeled into clusters 0, 3, 3 of k=4 — clusters
+	// 1 and 2 are empty.
+	x := mat.NewDense(2, 3)
+	x.SetCol(0, []float64{1, 0})
+	x.SetCol(1, []float64{0, 2})
+	x.SetCol(2, []float64{0, 4})
+	cent, labels := centroidsInAmbient(x, []int{0, 3, 3}, 4)
+	if cent.Rows() != 2 {
+		t.Fatalf("got %d centroid rows, want 2", cent.Rows())
+	}
+	if got := cent.Row(0); got[0] != 1 || got[1] != 0 {
+		t.Fatalf("centroid 0 = %v, want [1 0]", got)
+	}
+	if got := cent.Row(1); got[0] != 0 || got[1] != 3 {
+		t.Fatalf("centroid 1 = %v, want [0 3]", got)
+	}
+	if labels[0] != 0 || labels[1] != 1 || labels[2] != 1 {
+		t.Fatalf("remapped labels = %v, want [0 1 1]", labels)
+	}
+}

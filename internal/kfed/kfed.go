@@ -72,8 +72,8 @@ func Run(devices []*mat.Dense, l int, rng *rand.Rand, opts Options) Result {
 		// to aggregate them; with PCA preprocessing the projection is
 		// local and incomparable across devices, so lift the centroids
 		// back by averaging the ORIGINAL points of each local cluster.
-		cent := centroidsInAmbient(x, res.Labels, k)
-		locals[z] = localOut{centroids: cent, labels: res.Labels}
+		cent, relabeled := centroidsInAmbient(x, res.Labels, k)
+		locals[z] = localOut{centroids: cent, labels: relabeled}
 		uplink += cent.Rows() * cent.Cols()
 	}
 	// Server: stack all local centroids (rows) and cluster them into l.
@@ -100,26 +100,47 @@ func Run(devices []*mat.Dense, l int, rng *rand.Rand, opts Options) Result {
 }
 
 // centroidsInAmbient averages the original-space points of each local
-// cluster; empty clusters yield zero rows, which the server treats as any
-// other centroid.
-func centroidsInAmbient(x *mat.Dense, labels []int, k int) *mat.Dense {
+// cluster and drops clusters that own no points, remapping the point
+// labels onto the surviving rows. An empty cluster would otherwise
+// upload a zero row that the server's farthest-first traversal
+// preferentially seeds from (the origin is far from every data
+// centroid), burning a global center on a point that encodes nothing —
+// and it would count toward UplinkFloats despite carrying no data.
+func centroidsInAmbient(x *mat.Dense, labels []int, k int) (*mat.Dense, []int) {
 	n, _ := x.Dims()
-	cent := mat.NewDense(k, n)
+	sums := mat.NewDense(k, n)
 	counts := make([]int, k)
 	for i, t := range labels {
 		counts[t]++
-		row := cent.Row(t)
+		row := sums.Row(t)
 		for r := 0; r < n; r++ {
 			row[r] += x.At(r, i)
 		}
 	}
+	remap := make([]int, k)
+	occupied := 0
 	for t := 0; t < k; t++ {
 		if counts[t] > 0 {
-			inv := 1 / float64(counts[t])
-			mat.ScaleVec(inv, cent.Row(t))
+			remap[t] = occupied
+			occupied++
+		} else {
+			remap[t] = -1
 		}
 	}
-	return cent
+	cent := mat.NewDense(occupied, n)
+	for t := 0; t < k; t++ {
+		if counts[t] == 0 {
+			continue
+		}
+		row := cent.Row(remap[t])
+		copy(row, sums.Row(t))
+		mat.ScaleVec(1/float64(counts[t]), row)
+	}
+	relabeled := make([]int, len(labels))
+	for i, t := range labels {
+		relabeled[i] = remap[t]
+	}
+	return cent, relabeled
 }
 
 // centralCluster seeds l centers from the collected centroids by

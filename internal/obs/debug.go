@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugHandler returns the operational endpoint mux mounted behind
+// -debug-addr on the long-running binaries: /metrics renders reg (the
+// process-wide Default registry when nil) in the Prometheus text
+// format, and /debug/pprof/* exposes the standard runtime profiles.
+func NewDebugHandler(reg *Registry) http.Handler {
+	if reg == nil {
+		reg = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug listens on addr and serves the debug endpoints in a
+// background goroutine for the life of the process. It returns the
+// bound address (useful with ":0") or the listen error; serve errors
+// after startup only surface through errCh when non-nil. The debug
+// server is best-effort plumbing: it never takes the main service down.
+func ServeDebug(addr string, reg *Registry, errCh chan<- error) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewDebugHandler(reg)}
+	go func() {
+		err := srv.Serve(ln)
+		if errCh != nil {
+			errCh <- err
+		}
+	}()
+	return ln.Addr(), nil
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metric is one named instrument the registry can render.
+type metric interface {
+	write(w io.Writer, name, help string)
+	kind() string
+}
+
+// entry pairs an instrument with its exposition metadata.
+type entry struct {
+	name string
+	help string
+	m    metric
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format. Registration is idempotent: asking for an existing
+// name returns the same instrument, so independent subsystems can share
+// one registry without coordinating initialization order. A nil
+// *Registry is a valid sink that discards everything.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{entries: map[string]entry{}} }
+
+// defaultRegistry is the process-wide registry the binaries expose on
+// -debug-addr; subsystems without an injected registry publish here.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// register returns the instrument under name, creating it with mk on
+// first use. It panics when the name is already bound to a different
+// instrument kind — silent type confusion would corrupt the exposition.
+func (r *Registry) register(name, help string, mk func() metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		want := mk().kind()
+		if e.m.kind() != want {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, e.m.kind(), want))
+		}
+		return e.m
+	}
+	m := mk()
+	r.entries[name] = entry{name: name, help: help, m: m}
+	return m
+}
+
+// Counter returns the monotonically increasing counter registered under
+// name, creating it on first use. Nil registries return a nil counter,
+// which discards updates.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, func() metric { return &Counter{} }).(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use. Nil registries return a nil gauge, which discards updates.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, func() metric { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bucket upper bounds on first use (later calls keep the
+// original buckets). Nil registries return a nil histogram.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, func() metric { return NewHistogram(bounds) }).(*Histogram)
+}
+
+// CounterVec returns the label-partitioned counter family registered
+// under name, creating it on first use. Nil registries return a nil
+// family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, func() metric { return &CounterVec{label: label} }).(*CounterVec)
+}
+
+// WritePrometheus renders every registered metric in ascending name
+// order — a sorted exposition keeps scrapes diffable across runs.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	entries := make([]entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.m.kind())
+		e.m.write(w, e.name, e.help)
+	}
+}
+
+// Counter is a lock-free monotonically increasing int64.
+type Counter struct{ v atomic.Int64 }
+
+// Add increases the counter; negative deltas are ignored (counters are
+// monotone by contract). Nil counters discard the update.
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) kind() string { return "counter" }
+
+func (c *Counter) write(w io.Writer, name, _ string) {
+	fmt.Fprintf(w, "%s %d\n", name, c.v.Load())
+}
+
+// Gauge is a lock-free int64 level.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by n (nil-safe).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Set pins the gauge to n (nil-safe).
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the current level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) kind() string { return "gauge" }
+
+func (g *Gauge) write(w io.Writer, name, _ string) {
+	fmt.Fprintf(w, "%s %d\n", name, g.v.Load())
+}
+
+// Histogram is a fixed-bucket cumulative histogram with atomic
+// counters. The sum is kept in integer nanounits to stay lock-free.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumNano atomic.Int64 // sum * 1e9, good to ~292 observation-years
+}
+
+// NewHistogram returns a histogram with the given ascending bucket
+// upper bounds (the implicit +Inf bucket is always present).
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: append([]float64(nil), bounds...), buckets: make([]atomic.Int64, len(bounds))}
+}
+
+// Observe records one value (nil-safe).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.buckets[i].Add(1)
+		}
+	}
+	h.count.Add(1)
+	h.sumNano.Add(int64(v * 1e9))
+}
+
+// Count returns the number of observations (0 for a nil histogram).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sumNano.Load()) / 1e9
+}
+
+func (h *Histogram) kind() string { return "histogram" }
+
+func (h *Histogram) write(w io.Writer, name, _ string) {
+	for i, b := range h.bounds {
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmt.Sprintf("%g", b), h.buckets[i].Load())
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNano.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// CounterVec is a counter family partitioned by one label; children are
+// created on first observation of a label value.
+type CounterVec struct {
+	label    string
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the label value (nil-safe).
+func (v *CounterVec) With(value string) *Counter {
+	if v == nil {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.children == nil {
+		v.children = map[string]*Counter{}
+	}
+	c, ok := v.children[value]
+	if !ok {
+		c = &Counter{}
+		v.children[value] = c
+	}
+	return c
+}
+
+// Total sums every child (0 for a nil family).
+func (v *CounterVec) Total() int64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	var total int64
+	for _, c := range v.children {
+		total += c.Value()
+	}
+	return total
+}
+
+func (v *CounterVec) kind() string { return "counter" }
+
+func (v *CounterVec) write(w io.Writer, name, _ string) {
+	v.mu.Lock()
+	values := make([]string, 0, len(v.children))
+	for value := range v.children {
+		values = append(values, value)
+	}
+	sort.Strings(values)
+	for _, value := range values {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, v.label, value, v.children[value].Value())
+	}
+	v.mu.Unlock()
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotentAndSorted(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("z_total", "last alphabetically")
+	c2 := reg.Counter("z_total", "ignored duplicate help")
+	if c1 != c2 {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	c1.Add(3)
+	reg.Gauge("a_gauge", "first alphabetically").Set(7)
+	reg.Histogram("m_hist", "middle", []float64{1, 10}).Observe(2)
+	reg.CounterVec("v_total", "labeled", "model").With("b").Add(2)
+	reg.CounterVec("v_total", "labeled", "model").With("a").Inc()
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	text := b.String()
+	for _, want := range []string{
+		"a_gauge 7",
+		"m_hist_bucket{le=\"10\"} 1",
+		"m_hist_count 1",
+		"v_total{model=\"a\"} 1",
+		"v_total{model=\"b\"} 2",
+		"z_total 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Sorted by name: a_gauge before m_hist before v_total before z_total.
+	order := []string{"a_gauge", "m_hist", "v_total", "z_total"}
+	last := -1
+	for _, name := range order {
+		i := strings.Index(text, "# HELP "+name)
+		if i < 0 {
+			t.Fatalf("missing HELP for %s", name)
+		}
+		if i < last {
+			t.Errorf("%s rendered out of sorted order", name)
+		}
+		last = i
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dual", "as counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter as a gauge should panic")
+		}
+	}()
+	reg.Gauge("dual", "as gauge")
+}
+
+func TestNilRegistryAndInstrumentsAreNoops(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x", "").Add(1)
+	reg.Counter("x", "").Inc()
+	reg.Gauge("x", "").Set(2)
+	reg.Histogram("x", "", nil).Observe(1)
+	reg.CounterVec("x", "", "l").With("v").Inc()
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if b.Len() != 0 {
+		t.Fatalf("nil registry rendered output: %q", b.String())
+	}
+	if got := reg.Counter("x", "").Value(); got != 0 {
+		t.Fatalf("nil counter value = %d", got)
+	}
+	if got := reg.CounterVec("x", "", "l").Total(); got != 0 {
+		t.Fatalf("nil vec total = %d", got)
+	}
+	if got := reg.Histogram("x", "", nil).Count(); got != 0 {
+		t.Fatalf("nil histogram count = %d", got)
+	}
+}
+
+func TestCounterIgnoresNegativeDeltas(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Add(-3)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d after negative add, want 5", got)
+	}
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); got < 104.9 || got > 105.1 {
+		t.Fatalf("sum = %g, want 105", got)
+	}
+	var b strings.Builder
+	h.write(&b, "h", "")
+	text := b.String()
+	for _, want := range []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="2"} 2`,
+		`h_bucket{le="4"} 3`,
+		`h_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("histogram exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				reg.Counter("shared_total", "").Inc()
+				reg.CounterVec("by_model_total", "", "model").With("m").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("shared_total", "").Value(); got != 800 {
+		t.Fatalf("shared_total = %d, want 800", got)
+	}
+	if got := reg.CounterVec("by_model_total", "", "model").Total(); got != 800 {
+		t.Fatalf("by_model_total = %d, want 800", got)
+	}
+}

@@ -1,0 +1,20 @@
+// Package obs is the stdlib-only observability layer of the Fed-SC
+// stack: a process-wide metrics registry rendered in the Prometheus
+// text exposition format, lightweight spans recording the phase tree of
+// a federated round, and the operational debug endpoints (/metrics and
+// net/http/pprof) the long-running binaries mount behind -debug-addr.
+//
+// Every subsystem publishes here — fednet (uplink/downlink bytes,
+// retries, dedup supersedes), core (per-phase round latencies), chaos
+// (injected-fault events), kfed (upload accounting), and serve (request
+// latency, batch sizes) — so one scrape of /metrics sees the whole
+// pipeline instead of only the inference tier.
+//
+// Determinism: metric registration is idempotent and exposition is
+// sorted, spans take an injected Clock, and the canonical JSONL span
+// export excludes wall-clock fields, so a fixed-seed round emits a
+// bit-identical trace across runs and composes with the chaos replay
+// harness. All registry and tracer methods are nil-receiver-safe:
+// instrumented code paths never need to guard the pointer, and an
+// uninstrumented run pays only a nil check.
+package obs

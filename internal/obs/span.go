@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Clock supplies timestamps to a Tracer. Injecting one makes timed
+// span exports deterministic under test; the zero value of a Tracer
+// option falls back to time.Now.
+type Clock func() time.Time
+
+// Attr is one key/value annotation on a span. Values are strings so
+// the canonical export needs no float formatting decisions.
+type Attr struct{ Key, Value string }
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", v)} }
+
+// Tracer records a forest of spans — the phase tree of a federated
+// round. A nil *Tracer (and the nil *Span it hands out) is a valid
+// no-op, so instrumented code never guards the pointer.
+type Tracer struct {
+	clock Clock
+	mu    sync.Mutex
+	roots []*Span
+}
+
+// NewTracer returns a tracer reading timestamps from clock (nil means
+// time.Now).
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Tracer{clock: clock}
+}
+
+// Start opens a root span. Nil tracers return a nil span.
+func (t *Tracer) Start(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, attrs: append([]Attr(nil), attrs...), start: t.clock()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Roots returns the root spans in creation order.
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Span is one timed node of the phase tree. Child spans may be opened
+// concurrently; all mutation is guarded by the span's own lock.
+type Span struct {
+	tracer *Tracer
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	events   []string
+	children []*Span
+}
+
+// Start opens a child span. Nil spans return nil, so a disabled trace
+// costs one pointer check per phase.
+func (s *Span) Start(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tracer: s.tracer, name: name, attrs: append([]Attr(nil), attrs...), start: s.tracer.clock()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// End closes the span; the first call wins, later calls are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	now := s.tracer.clock()
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = now
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr adds an annotation discovered after the span opened (e.g.
+// the number of local clusters a device found).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Eventf appends one formatted point-in-time event — this is the hook
+// chaos fault-trace records flow through, so an injected fault shows up
+// inside the span of the phase it hit.
+func (s *Span) Eventf(format string, args ...any) {
+	if s == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	s.mu.Lock()
+	s.events = append(s.events, msg)
+	s.mu.Unlock()
+}
+
+// spanRecord is one exported JSONL line. encoding/json writes map keys
+// sorted, which keeps the attrs object canonical.
+type spanRecord struct {
+	Path     string            `json:"path"`
+	Name     string            `json:"name"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Events   []string          `json:"events,omitempty"`
+	StartUS  *int64            `json:"start_us,omitempty"`
+	DurUS    *int64            `json:"dur_us,omitempty"`
+	Children int               `json:"children"`
+}
+
+// label renders the span's identity within its siblings: the name plus
+// the sorted attributes it was started with.
+func (s *Span) label() string {
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	s.mu.Unlock()
+	if len(attrs) == 0 {
+		return s.name
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		parts[i] = a.Key + "=" + a.Value
+	}
+	sort.Strings(parts)
+	return s.name + "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteJSONL exports the span forest as one JSON object per line,
+// depth first, siblings in canonical (serialized-content) order rather
+// than creation order — concurrent phases append children in scheduling
+// order, and sorting is what makes a fixed-seed trace bit-identical
+// across runs. withTimes adds start_us/dur_us read from the tracer's
+// clock; the canonical export used for replay comparison omits them.
+func (t *Tracer) WriteJSONL(w io.Writer, withTimes bool) error {
+	if t == nil {
+		return nil
+	}
+	roots := t.Roots()
+	var epoch time.Time
+	for i, r := range roots {
+		if i == 0 || r.start.Before(epoch) {
+			epoch = r.start
+		}
+	}
+	for _, r := range roots {
+		for _, line := range flattenSpan(r, "", epoch, withTimes) {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flattenSpan serializes one subtree; the returned lines start with the
+// span itself followed by its (canonically sorted) descendants.
+func flattenSpan(s *Span, parentPath string, epoch time.Time, withTimes bool) []string {
+	path := s.label()
+	if parentPath != "" {
+		path = parentPath + "/" + path
+	}
+	s.mu.Lock()
+	attrs := append([]Attr(nil), s.attrs...)
+	events := append([]string(nil), s.events...)
+	children := append([]*Span(nil), s.children...)
+	end := s.end
+	s.mu.Unlock()
+	rec := spanRecord{Path: path, Name: s.name, Children: len(children)}
+	if len(attrs) > 0 {
+		rec.Attrs = map[string]string{}
+		for _, a := range attrs {
+			rec.Attrs[a.Key] = a.Value
+		}
+	}
+	rec.Events = events
+	if withTimes {
+		if end.IsZero() {
+			end = s.start
+		}
+		start := s.start.Sub(epoch).Microseconds()
+		dur := end.Sub(s.start).Microseconds()
+		rec.StartUS, rec.DurUS = &start, &dur
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		// spanRecord contains only strings and ints; Marshal cannot fail.
+		panic("obs: marshal span record: " + err.Error())
+	}
+	blocks := make([][]string, len(children))
+	for i, c := range children {
+		blocks[i] = flattenSpan(c, path, epoch, withTimes)
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		return strings.Join(blocks[i], "\n") < strings.Join(blocks[j], "\n")
+	})
+	out := []string{string(data)}
+	for _, b := range blocks {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Waterfall renders the span forest as an indented text waterfall with
+// real timings — the human view behind `fedsc -trace`. Siblings are
+// ordered by start time; the bar maps each span onto the full trace
+// window.
+func (t *Tracer) Waterfall(w io.Writer) {
+	if t == nil {
+		return
+	}
+	roots := t.Roots()
+	if len(roots) == 0 {
+		return
+	}
+	var min, max time.Time
+	var scan func(s *Span)
+	scan = func(s *Span) {
+		s.mu.Lock()
+		end := s.end
+		children := append([]*Span(nil), s.children...)
+		s.mu.Unlock()
+		if end.IsZero() {
+			end = s.start
+		}
+		if min.IsZero() || s.start.Before(min) {
+			min = s.start
+		}
+		if max.IsZero() || end.After(max) {
+			max = end
+		}
+		for _, c := range children {
+			scan(c)
+		}
+	}
+	for _, r := range roots {
+		scan(r)
+	}
+	total := max.Sub(min)
+	if total <= 0 {
+		total = time.Microsecond
+	}
+	const width = 48
+	var render func(s *Span, depth int)
+	render = func(s *Span, depth int) {
+		s.mu.Lock()
+		end := s.end
+		children := append([]*Span(nil), s.children...)
+		nEvents := len(s.events)
+		s.mu.Unlock()
+		if end.IsZero() {
+			end = s.start
+		}
+		lo := int(float64(s.start.Sub(min)) / float64(total) * width)
+		hi := int(float64(end.Sub(min)) / float64(total) * width)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("█", hi-lo) + strings.Repeat(" ", width-hi)
+		name := strings.Repeat("  ", depth) + s.label()
+		suffix := ""
+		if nEvents > 0 {
+			suffix = fmt.Sprintf("  (%d events)", nEvents)
+		}
+		fmt.Fprintf(w, "%-42s |%s| %9.3fms%s\n", name, bar, float64(end.Sub(s.start).Microseconds())/1000, suffix)
+		sort.SliceStable(children, func(i, j int) bool { return children[i].start.Before(children[j].start) })
+		for _, c := range children {
+			render(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 0)
+	}
+}

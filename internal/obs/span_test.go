@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stepClock advances a fixed amount per read — an injected Clock that
+// makes timed exports deterministic. The counter is atomic so the clock
+// can also back traces built from concurrent goroutines.
+func stepClock(step time.Duration) Clock {
+	var n atomic.Int64
+	return func() time.Time {
+		return time.Unix(0, n.Add(1)*int64(step))
+	}
+}
+
+func TestTimedExportWithInjectedClock(t *testing.T) {
+	tr := NewTracer(stepClock(time.Millisecond))
+	root := tr.Start("round", Int("devices", 2))
+	p1 := root.Start("phase1")
+	p1.End()
+	p2 := root.Start("phase2")
+	p2.SetAttr("samples", "8")
+	p2.Eventf("pooled %d", 8)
+	p2.End()
+	root.End()
+
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `{"path":"round{devices=2}","name":"round","attrs":{"devices":"2"},"start_us":0,"dur_us":5000,"children":2}
+{"path":"round{devices=2}/phase1","name":"phase1","start_us":1000,"dur_us":1000,"children":0}
+{"path":"round{devices=2}/phase2{samples=8}","name":"phase2","attrs":{"samples":"8"},"events":["pooled 8"],"start_us":3000,"dur_us":1000,"children":0}
+`
+	if got != want {
+		t.Fatalf("timed export mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCanonicalExportIsOrderIndependent(t *testing.T) {
+	// Two traces with the same span set built under different
+	// interleavings must export identically without times.
+	build := func(order []int) string {
+		tr := NewTracer(stepClock(time.Microsecond))
+		root := tr.Start("round")
+		var wg sync.WaitGroup
+		for _, dev := range order {
+			wg.Add(1)
+			go func(dev int) {
+				defer wg.Done()
+				s := root.Start("device", Int("device", dev))
+				s.SetAttr("r", "2")
+				s.End()
+			}(dev)
+		}
+		wg.Wait()
+		root.End()
+		var b strings.Builder
+		if err := tr.WriteJSONL(&b, false); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a := build([]int{0, 1, 2, 3, 4, 5, 6, 7})
+	bb := build([]int{7, 6, 5, 4, 3, 2, 1, 0})
+	if a != bb {
+		t.Fatalf("canonical exports differ across interleavings:\n%s\nvs\n%s", a, bb)
+	}
+	if strings.Contains(a, "start_us") {
+		t.Fatalf("canonical export leaked wall-clock fields:\n%s", a)
+	}
+	for dev := 0; dev < 8; dev++ {
+		if !strings.Contains(a, `{"device":"`) {
+			t.Fatalf("canonical export missing device attrs:\n%s", a)
+		}
+	}
+}
+
+func TestNilTracerAndSpanAreNoops(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("x")
+	if s != nil {
+		t.Fatalf("nil tracer returned a span")
+	}
+	c := s.Start("child")
+	c.SetAttr("k", "v")
+	c.Eventf("ev %d", 1)
+	c.End()
+	s.End()
+	var b strings.Builder
+	if err := tr.WriteJSONL(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	tr.Waterfall(&b)
+	if b.Len() != 0 {
+		t.Fatalf("nil tracer produced output: %q", b.String())
+	}
+}
+
+func TestWaterfallRendersEverySpan(t *testing.T) {
+	tr := NewTracer(stepClock(time.Millisecond))
+	root := tr.Start("round")
+	a := root.Start("phase1")
+	a.Eventf("fault injected")
+	a.End()
+	root.Start("phase2").End()
+	root.End()
+	var b strings.Builder
+	tr.Waterfall(&b)
+	out := b.String()
+	for _, want := range []string{"round", "phase1", "phase2", "█", "(1 events)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("waterfall has %d lines, want 3:\n%s", len(lines), out)
+	}
+}
+
+func TestDebugHandlerServesMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("fedsc_test_total", "test counter").Add(9)
+	srv := httptest.NewServer(NewDebugHandler(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := resp.Body.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "fedsc_test_total 9") {
+		t.Fatalf("/metrics = %d %q", code, body)
+	}
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d (body %d bytes)", code, len(body))
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fedsc/internal/core"
 	"fedsc/internal/fednet"
 	"fedsc/internal/mat"
+	"fedsc/internal/obs"
 	"fedsc/internal/synth"
 )
 
@@ -35,7 +36,10 @@ func LocalClusterAndSample(b *testing.B) {
 	}
 }
 
-// FedSCRound measures a complete one-shot round end to end.
+// FedSCRound measures a complete one-shot round end to end. Metrics and
+// span tracing are deliberately enabled — the tracked number budgets the
+// fully instrumented path, so observability overhead creeping past noise
+// fails the bench-regression gate like any other slowdown.
 func FedSCRound(b *testing.B) {
 	rng := rand.New(rand.NewSource(2))
 	s := synth.RandomSubspaces(20, 5, 8, rng)
@@ -50,8 +54,11 @@ func FedSCRound(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.Run(devices, 8, core.Options{Local: core.LocalOptions{UseEigengap: true}},
-			rand.New(rand.NewSource(int64(i))))
+		core.Run(devices, 8, core.Options{
+			Local: core.LocalOptions{UseEigengap: true},
+			Obs:   obs.NewRegistry(),
+			Trace: obs.NewTracer(nil),
+		}, rand.New(rand.NewSource(int64(i))))
 	}
 }
 

@@ -76,9 +76,10 @@ type Batcher struct {
 	metrics *Metrics
 	opts    BatcherOptions
 
-	reqs chan *batchRequest
-	stop chan struct{}
-	wg   sync.WaitGroup
+	reqs     chan *batchRequest
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
 
 	// mu fences Assign's enqueue against Stop: Assign holds the read
 	// lock across the send, Stop flips stopped under the write lock, so
@@ -106,29 +107,29 @@ func NewBatcher(reg *Registry, metrics *Metrics, opts BatcherOptions) *Batcher {
 }
 
 // Stop shuts the worker pool down: queued requests are still answered,
-// Assign calls arriving after Stop get ErrStopped. Stop is idempotent
-// and returns once every worker has exited.
+// Assign calls arriving after Stop get ErrStopped. Stop is idempotent,
+// and EVERY call — not just the first — returns only once the workers
+// have exited and the queue is drained: Once.Do blocks concurrent
+// callers until the first invocation's shutdown completes, so no caller
+// can observe a half-stopped batcher.
 func (b *Batcher) Stop() {
 	b.mu.Lock()
-	already := b.stopped
 	b.stopped = true
 	b.mu.Unlock()
-	if already {
+	b.stopOnce.Do(func() {
+		close(b.stop)
 		b.wg.Wait()
-		return
-	}
-	close(b.stop)
-	b.wg.Wait()
-	// No sender can hold the queue anymore; answer any stragglers the
-	// workers missed between their last drain and exit.
-	for {
-		select {
-		case req := <-b.reqs:
-			req.out <- batchResponse{err: ErrStopped}
-		default:
-			return
+		// No sender can hold the queue anymore; answer any stragglers the
+		// workers missed between their last drain and exit.
+		for {
+			select {
+			case req := <-b.reqs:
+				req.out <- batchResponse{err: ErrStopped}
+			default:
+				return
+			}
 		}
-	}
+	})
 }
 
 // Assign scores one group of points (each of length ambient) as a unit

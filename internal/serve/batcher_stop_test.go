@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStopWaitsForDrainAcrossCallers is the regression test for the
+// concurrent-Stop race: a second Stop used to return right after
+// wg.Wait() while the first was still answering stragglers, letting its
+// caller observe a half-stopped batcher. The test builds the exact
+// interleaving: workers already gone (none started, so wg.Wait is
+// instant), a straggler in the queue whose reply buffer is full so the
+// first Stop blocks mid-drain, and a second straggler behind it.
+func TestStopWaitsForDrainAcrossCallers(t *testing.T) {
+	b := &Batcher{
+		reqs: make(chan *batchRequest, 8),
+		stop: make(chan struct{}),
+	}
+	blocker := &batchRequest{out: make(chan batchResponse, 1)}
+	blocker.out <- batchResponse{} // full buffer: the drain's send blocks
+	straggler := &batchRequest{out: make(chan batchResponse, 1)}
+	b.reqs <- blocker
+	b.reqs <- straggler
+
+	first := make(chan struct{})
+	go func() {
+		b.Stop()
+		close(first)
+	}()
+	// Let the first Stop reach the blocked drain send.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-first:
+		t.Fatal("first Stop returned with a straggler still queued")
+	default:
+	}
+
+	second := make(chan struct{})
+	go func() {
+		b.Stop()
+		close(second)
+	}()
+	select {
+	case <-second:
+		t.Fatal("second Stop returned while the first was still draining stragglers")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Unblock the drain; now both Stops must finish and the straggler
+	// must have been answered.
+	<-blocker.out
+	for name, ch := range map[string]chan struct{}{"first": first, "second": second} {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			t.Fatalf("%s Stop did not return after the drain unblocked", name)
+		}
+	}
+	select {
+	case resp := <-straggler.out:
+		if !errors.Is(resp.err, ErrStopped) {
+			t.Fatalf("straggler answered with %v, want ErrStopped", resp.err)
+		}
+	default:
+		t.Fatal("straggler left unanswered after Stop returned")
+	}
+}
+
+// TestStopConcurrentWithAssigns hammers Stop against in-flight Assigns
+// under the race detector: every Assign must resolve (answer or
+// ErrStopped), every Stop must return, and post-Stop Assigns must be
+// refused.
+func TestStopConcurrentWithAssigns(t *testing.T) {
+	reg, devices, _ := newTestRegistry(t, 77)
+	b := NewBatcher(reg, NewMetrics(), BatcherOptions{MaxBatch: 4, MaxWait: time.Millisecond, Workers: 2})
+	vec := devices[0].Col(0, nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := b.Assign(context.Background(), [][]float64{vec})
+			if err != nil && !errors.Is(err, ErrStopped) {
+				t.Errorf("Assign: %v", err)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Stop()
+		}()
+	}
+	wg.Wait()
+	if _, _, err := b.Assign(context.Background(), [][]float64{vec}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Assign after Stop returned %v, want ErrStopped", err)
+	}
+}

@@ -1,49 +1,64 @@
 package serve
 
 import (
-	"fmt"
 	"io"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"fedsc/internal/obs"
 )
 
-// Metrics is a dependency-free metrics sink rendered in the Prometheus
-// text exposition format. All updates are lock-free atomics on the hot
-// path; only the per-model assignment map takes a lock, and only on the
-// first observation of a new model name.
+// Metrics is the serving tier's metrics sink, rendered in the
+// Prometheus text exposition format. Since the obs subsystem landed it
+// is a thin facade over an obs.Registry: the instruments live in the
+// registry (so a shared registry exposes the serving metrics next to
+// the fednet/core/chaos ones on one /metrics endpoint), while this type
+// keeps the API the handler, batcher, and tests were built against.
+// All updates are lock-free atomics on the hot path.
 type Metrics struct {
-	requests  atomic.Int64 // accepted /v1/assign requests
-	errors    atomic.Int64 // requests answered with an error status
-	inFlight  atomic.Int64 // requests currently being served
-	latency   histogram    // per-request latency, seconds
-	batchSize histogram    // points per scored batch
-
-	mu          sync.Mutex
-	assignments map[string]*atomic.Int64 // model name -> points assigned
+	reg         *obs.Registry
+	requests    *obs.Counter
+	errors      *obs.Counter
+	inFlight    *obs.Gauge
+	latency     *obs.Histogram
+	batchSize   *obs.Histogram
+	assignments *obs.CounterVec
 }
 
-// NewMetrics returns a metrics sink with latency buckets spanning 10µs
-// to 10s and batch-size buckets spanning 1 to 4096 points.
-func NewMetrics() *Metrics {
+// NewMetrics returns a metrics sink over a private registry with
+// latency buckets spanning 10µs to 10s and batch-size buckets spanning
+// 1 to 4096 points.
+func NewMetrics() *Metrics { return NewMetricsOn(obs.NewRegistry()) }
+
+// NewMetricsOn registers the serving metrics on reg and returns the
+// sink. Registration is idempotent, so several components may share
+// one registry.
+func NewMetricsOn(reg *obs.Registry) *Metrics {
 	return &Metrics{
-		latency:     newHistogram([]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}),
-		batchSize:   newHistogram([]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}),
-		assignments: make(map[string]*atomic.Int64),
+		reg:      reg,
+		requests: reg.Counter("fedsc_serve_requests_total", "Assignment requests accepted."),
+		errors:   reg.Counter("fedsc_serve_request_errors_total", "Assignment requests answered with an error."),
+		inFlight: reg.Gauge("fedsc_serve_in_flight", "Requests currently being served."),
+		latency: reg.Histogram("fedsc_serve_latency_seconds", "Request latency in seconds.",
+			[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}),
+		batchSize: reg.Histogram("fedsc_serve_batch_points", "Points per scored batch.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}),
+		assignments: reg.CounterVec("fedsc_serve_assignments_total", "Points assigned, by model.", "model"),
 	}
 }
+
+// Registry returns the registry the serving metrics are registered on.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // RequestStart marks a request accepted and returns a done func that
 // records its latency and error status.
 func (m *Metrics) RequestStart() func(err bool) {
-	m.requests.Add(1)
+	m.requests.Inc()
 	m.inFlight.Add(1)
 	start := time.Now()
 	return func(err bool) {
-		m.latency.observe(time.Since(start).Seconds())
+		m.latency.Observe(time.Since(start).Seconds())
 		if err {
-			m.errors.Add(1)
+			m.errors.Inc()
 		}
 		m.inFlight.Add(-1)
 	}
@@ -51,101 +66,26 @@ func (m *Metrics) RequestStart() func(err bool) {
 
 // ObserveBatch records one scored batch of b points under model name.
 func (m *Metrics) ObserveBatch(name string, b int) {
-	m.batchSize.observe(float64(b))
-	m.mu.Lock()
-	c, ok := m.assignments[name]
-	if !ok {
-		c = new(atomic.Int64)
-		m.assignments[name] = c
-	}
-	m.mu.Unlock()
-	c.Add(int64(b))
+	m.batchSize.Observe(float64(b))
+	m.assignments.With(name).Add(int64(b))
 }
 
-// Snapshot totals used by tests and the shutdown log.
-func (m *Metrics) Requests() int64 { return m.requests.Load() }
+// Requests returns the number of accepted requests.
+func (m *Metrics) Requests() int64 { return m.requests.Value() }
 
 // Errors returns the number of requests answered with an error.
-func (m *Metrics) Errors() int64 { return m.errors.Load() }
+func (m *Metrics) Errors() int64 { return m.errors.Value() }
 
 // InFlight returns the number of requests currently being served.
-func (m *Metrics) InFlight() int64 { return m.inFlight.Load() }
+func (m *Metrics) InFlight() int64 { return m.inFlight.Value() }
 
 // Assigned returns the total points assigned across all models.
-func (m *Metrics) Assigned() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var total int64
-	for _, c := range m.assignments {
-		total += c.Load()
-	}
-	return total
-}
+func (m *Metrics) Assigned() int64 { return m.assignments.Total() }
 
 // Batches returns the number of scored batches.
-func (m *Metrics) Batches() int64 { return m.batchSize.count.Load() }
+func (m *Metrics) Batches() int64 { return m.batchSize.Count() }
 
-// WritePrometheus renders every metric in the text exposition format.
-func (m *Metrics) WritePrometheus(w io.Writer) {
-	fmt.Fprintf(w, "# HELP fedsc_serve_requests_total Assignment requests accepted.\n")
-	fmt.Fprintf(w, "# TYPE fedsc_serve_requests_total counter\n")
-	fmt.Fprintf(w, "fedsc_serve_requests_total %d\n", m.requests.Load())
-	fmt.Fprintf(w, "# HELP fedsc_serve_request_errors_total Assignment requests answered with an error.\n")
-	fmt.Fprintf(w, "# TYPE fedsc_serve_request_errors_total counter\n")
-	fmt.Fprintf(w, "fedsc_serve_request_errors_total %d\n", m.errors.Load())
-	fmt.Fprintf(w, "# HELP fedsc_serve_in_flight Requests currently being served.\n")
-	fmt.Fprintf(w, "# TYPE fedsc_serve_in_flight gauge\n")
-	fmt.Fprintf(w, "fedsc_serve_in_flight %d\n", m.inFlight.Load())
-	m.latency.write(w, "fedsc_serve_latency_seconds", "Request latency in seconds.")
-	m.batchSize.write(w, "fedsc_serve_batch_points", "Points per scored batch.")
-	fmt.Fprintf(w, "# HELP fedsc_serve_assignments_total Points assigned, by model.\n")
-	fmt.Fprintf(w, "# TYPE fedsc_serve_assignments_total counter\n")
-	m.mu.Lock()
-	names := make([]string, 0, len(m.assignments))
-	for name := range m.assignments {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Fprintf(w, "fedsc_serve_assignments_total{model=%q} %d\n", name, m.assignments[name].Load())
-	}
-	m.mu.Unlock()
-}
-
-// histogram is a fixed-bucket cumulative histogram with atomic counters.
-// The sum is kept in integer nanounits to stay lock-free.
-type histogram struct {
-	bounds  []float64
-	buckets []atomic.Int64
-	count   atomic.Int64
-	sumNano atomic.Int64 // sum * 1e9, good to ~292 observation-years
-}
-
-func newHistogram(bounds []float64) histogram {
-	return histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds))}
-}
-
-func (h *histogram) observe(v float64) {
-	for i, b := range h.bounds {
-		if v <= b {
-			h.buckets[i].Add(1)
-		}
-	}
-	h.count.Add(1)
-	h.sumNano.Add(int64(v * 1e9))
-}
-
-func (h *histogram) write(w io.Writer, name, help string) {
-	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
-	for i, b := range h.bounds {
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), h.buckets[i].Load())
-	}
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.count.Load())
-	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNano.Load())/1e9)
-	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
-}
-
-func formatBound(b float64) string {
-	return fmt.Sprintf("%g", b)
-}
+// WritePrometheus renders every metric on the sink's registry in the
+// text exposition format — including any non-serving metrics other
+// subsystems registered on a shared registry.
+func (m *Metrics) WritePrometheus(w io.Writer) { m.reg.WritePrometheus(w) }

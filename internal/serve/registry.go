@@ -34,6 +34,11 @@ type ModelInfo struct {
 	Active   bool      `json:"active"`
 }
 
+// historyCap bounds the load log. A long-lived server hot-reloading
+// every few minutes would otherwise grow the history without bound;
+// only the most recent loads are of operational interest.
+const historyCap = 32
+
 // Registry holds the currently served model and the history of loads.
 // Readers (the batcher workers) take the current snapshot with a single
 // atomic pointer load on every batch; writers (reloads) build the new
@@ -72,9 +77,18 @@ func (r *Registry) SetModel(name string, m *core.Model) error {
 		Method:   m.Method,
 		Created:  m.Created(),
 		LoadedAt: snap.LoadedAt,
-		Checksum: fmt.Sprintf("%x", m.Checksum[:8]),
+		Checksum: checksumHex(m),
 	})
+	if len(r.history) > historyCap {
+		r.history = append(r.history[:0:0], r.history[len(r.history)-historyCap:]...)
+	}
 	return nil
+}
+
+// checksumHex is the short artifact digest shown in /v1/models and used
+// to match history entries against the active snapshot.
+func checksumHex(m *core.Model) string {
+	return fmt.Sprintf("%x", m.Checksum[:8])
 }
 
 // LoadFile loads a model artifact from disk and makes it current; the
@@ -105,15 +119,23 @@ func (r *Registry) Reload() error {
 	return r.LoadFile(path)
 }
 
-// Models lists every load in order, marking the active one.
+// Models lists the retained loads in order (most recent historyCap),
+// marking active by snapshot identity — the entry whose load time and
+// checksum match the snapshot readers actually score against — rather
+// than assuming the newest load is the one being served.
 func (r *Registry) Models() []ModelInfo {
 	cur := r.Current()
+	var curSum string
+	if cur != nil {
+		curSum = checksumHex(cur.Model)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]ModelInfo, len(r.history))
 	copy(out, r.history)
 	for i := range out {
-		out[i].Active = cur != nil && i == len(out)-1
+		out[i].Active = cur != nil &&
+			out[i].LoadedAt.Equal(cur.LoadedAt) && out[i].Checksum == curSum
 	}
 	return out
 }

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRegistryHistoryCap is the regression test for unbounded history
+// growth: a server hot-reloading for months must retain only the most
+// recent historyCap loads.
+func TestRegistryHistoryCap(t *testing.T) {
+	_, _, m := trainModel(t, 71)
+	reg := NewRegistry()
+	const loads = historyCap + 9
+	for i := 0; i < loads; i++ {
+		if err := reg.SetModel(fmt.Sprintf("m%03d", i), m); err != nil {
+			t.Fatalf("SetModel %d: %v", i, err)
+		}
+	}
+	infos := reg.Models()
+	if len(infos) != historyCap {
+		t.Fatalf("history holds %d entries after %d loads, want cap %d", len(infos), loads, historyCap)
+	}
+	// The retained window is the most recent loads, oldest first.
+	for i, info := range infos {
+		if want := fmt.Sprintf("m%03d", loads-historyCap+i); info.Name != want {
+			t.Fatalf("entry %d is %q, want %q", i, info.Name, want)
+		}
+	}
+	if !infos[len(infos)-1].Active {
+		t.Fatalf("latest load not marked active: %+v", infos[len(infos)-1])
+	}
+}
+
+// TestRegistryActiveBySnapshotIdentity is the regression test for the
+// Active flag: it must follow the snapshot readers actually score
+// against, not the last history index. Pre-fix, rolling back current to
+// an earlier snapshot still showed the newest load as active.
+func TestRegistryActiveBySnapshotIdentity(t *testing.T) {
+	_, _, m1 := trainModel(t, 72)
+	_, _, m2 := trainModel(t, 73)
+	reg := NewRegistry()
+	if err := reg.SetModel("first", m1); err != nil {
+		t.Fatalf("SetModel first: %v", err)
+	}
+	firstSnap := reg.Current()
+	if err := reg.SetModel("second", m2); err != nil {
+		t.Fatalf("SetModel second: %v", err)
+	}
+	// Roll the served snapshot back without touching the history — the
+	// situation the identity check exists for.
+	reg.current.Store(firstSnap)
+
+	infos := reg.Models()
+	if len(infos) != 2 {
+		t.Fatalf("history has %d entries, want 2", len(infos))
+	}
+	if !infos[0].Active {
+		t.Fatalf("served snapshot %q not marked active: %+v", firstSnap.Name, infos)
+	}
+	if infos[1].Active {
+		t.Fatalf("stale load %q marked active alongside the served one: %+v", infos[1].Name, infos)
+	}
+}

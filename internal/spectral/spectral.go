@@ -113,11 +113,28 @@ func Cluster(w *sparse.CSR, k int, rng *rand.Rand) []int {
 	}
 	_, vecs := LaplacianEigs(w, k, rng)
 	emb := vecs.Clone()
-	for i := 0; i < n; i++ {
-		mat.Normalize(emb.Row(i))
-	}
+	normalizeEmbedding(emb)
 	res := kmeans.Run(emb, k, rng, kmeans.Options{Restarts: 8})
 	return res.Labels
+}
+
+// normalizeEmbedding scales every row of the spectral embedding to unit
+// norm. A zero-degree (isolated) vertex is untouched by the bottom-band
+// eigenvectors, so its row comes out all-zero, and mat.Normalize would
+// leave it at the origin — equidistant from every centroid on the unit
+// sphere, so k-means attaches it to whichever cluster the seeding
+// happens to favor, a degenerate tie that flips with the rng. Zero rows
+// are instead mapped to the canonical unit embedding e₀, giving every
+// isolated vertex the same well-defined position (and therefore the
+// same, seed-independent assignment).
+func normalizeEmbedding(emb *mat.Dense) {
+	r, _ := emb.Dims()
+	for i := 0; i < r; i++ {
+		row := emb.Row(i)
+		if mat.Normalize(row) == 0 { //fedsc:allow floatcmp Normalize returns exactly 0 iff the row is exactly zero
+			row[0] = 1
+		}
+	}
 }
 
 // EstimateAndCluster fuses EstimateClusters and Cluster over one
@@ -154,9 +171,7 @@ func EstimateAndCluster(w *sparse.CSR, maxK int, rng *rand.Rand) (int, []int) {
 		idx[i] = i
 	}
 	emb := vecs.SelectCols(idx)
-	for i := 0; i < n; i++ {
-		mat.Normalize(emb.Row(i))
-	}
+	normalizeEmbedding(emb)
 	res := kmeans.Run(emb, r, rng, kmeans.Options{Restarts: 8})
 	return r, res.Labels
 }
