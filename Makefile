@@ -4,9 +4,9 @@ GO ?= go
 # Label naming the machine-readable benchmark report (BENCH_<label>.json).
 BENCH_LABEL ?= local
 
-.PHONY: check fmt vet build test race lint chaos bench bench-json
+.PHONY: check fmt vet build test race lint chaos load bench bench-json
 
-check: fmt vet lint build race chaos
+check: fmt vet lint build race chaos load
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -35,6 +35,12 @@ lint:
 # round via retry + straggler tolerance and replay bit-identically.
 chaos:
 	$(GO) run ./cmd/fedsc-chaos -schedule all
+
+# Serving smoke: self-host a two-model artifact store, ramp load against
+# it, and verify the serving contract (both models answer routed
+# assigns; an oversized burst is shed with 429, never a timeout).
+load:
+	$(GO) run ./cmd/fedsc-load -self -ramp 1,4 -stage 500ms
 
 bench:
 	$(GO) test -bench=. -benchmem

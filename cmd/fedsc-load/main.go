@@ -1,0 +1,532 @@
+// Command fedsc-load is the saturation harness for fedsc-serve: it
+// ramps concurrency against a serving endpoint stage by stage, routes
+// requests round-robin across the named models, and reports per-stage
+// throughput with p50/p99 latency plus the peak RPS across the run.
+//
+// Point it at a running server:
+//
+//	fedsc-load -target http://localhost:8080 -models alpha,beta \
+//	    -ramp 1,2,4,8,16 -stage 3s -batch 8 -label pr6
+//
+// Or let it self-host: `-self` deploys two synthetic models into a
+// temp artifact store, serves them in-process with a deliberately
+// small admission queue, and verifies the serving contract end to end
+// (both models answer routed assigns; an oversized burst is shed with
+// 429, not a timeout). The process exits non-zero if a check fails,
+// which is what `make load` and CI run:
+//
+//	fedsc-load -self -ramp 1,4 -stage 500ms
+//
+// With -label the run is recorded to BENCH_serve_<label>.json so
+// serving throughput gets the same PR-over-PR trajectory as the
+// kernel benchmarks in BENCH_<label>.json. The optional -chaos-latency
+// flag injects seeded dial latency through the chaos transport to
+// measure throughput under degraded networks.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fedsc/internal/chaos"
+	"fedsc/internal/core"
+	"fedsc/internal/serve"
+	"fedsc/internal/store"
+)
+
+func main() {
+	var (
+		target     = flag.String("target", "", "base URL of a running fedsc-serve (e.g. http://localhost:8080)")
+		self       = flag.Bool("self", false, "self-host: serve two synthetic models from a temp store in-process")
+		models     = flag.String("models", "", "comma-separated model names to route round-robin (empty = default model)")
+		ramp       = flag.String("ramp", "1,2,4,8", "comma-separated concurrency stages")
+		stage      = flag.Duration("stage", 2*time.Second, "duration of each ramp stage")
+		batch      = flag.Int("batch", 8, "points per assign request")
+		queue      = flag.Int("queue", 32, "admission queue bound of the self-hosted server (points)")
+		probe      = flag.Int("probe", 0, "shed probe: send one request with this many points and require 429 (0 = off; -self defaults to queue+1)")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		seed       = flag.Int64("seed", 1, "seed for generated points and chaos schedules")
+		label      = flag.String("label", "", "record the run to BENCH_serve_<label>.json (empty = don't)")
+		chaosLat   = flag.Duration("chaos-latency", 0, "inject this much seeded latency per connection direction")
+		chaosJit   = flag.Duration("chaos-jitter", 0, "widen -chaos-latency by a seeded uniform draw")
+		serveBatch = flag.Int("serve-batch", 4, "max batch of the self-hosted server")
+	)
+	flag.Parse()
+
+	if (*target == "") == !*self {
+		fatalf("need exactly one of -target or -self")
+	}
+	stages, err := parseRamp(*ramp)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *self {
+		base, stop, err := selfHost(*queue, *serveBatch)
+		if err != nil {
+			fatalf("self-host: %v", err)
+		}
+		defer stop()
+		*target = base
+		if *models == "" {
+			*models = "alpha,beta"
+		}
+		if *probe == 0 {
+			*probe = *queue + 1
+		}
+		fmt.Printf("self-hosting two models on %s (queue=%d points)\n", base, *queue)
+	}
+	base := strings.TrimRight(*target, "/")
+
+	client := newClient(*timeout, *seed, *chaosLat, *chaosJit)
+	names := splitModels(*models)
+	bodies, err := buildBodies(client, base, names, *batch, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	perModelOK := make(map[string]*atomic.Int64, len(names))
+	for _, name := range names {
+		perModelOK[name] = &atomic.Int64{}
+	}
+	var results []StageResult
+	peak := 0.0
+	for _, conc := range stages {
+		res := runStage(client, base, bodies, conc, *stage, perModelOK)
+		if res.RPS > peak {
+			peak = res.RPS
+		}
+		results = append(results, res)
+		fmt.Printf("stage c=%-3d requests=%-6d ok=%-6d shed=%-5d errors=%-4d rps=%-8.1f p50=%.2fms p99=%.2fms\n",
+			res.Concurrency, res.Requests, res.OK, res.Shed, res.Errors, res.RPS, res.P50Ms, res.P99Ms)
+	}
+	fmt.Printf("peak %.1f requests/s (%.1f points/s)\n", peak, peak*float64(*batch))
+
+	failed := false
+	for _, name := range names {
+		ok := perModelOK[name].Load()
+		display := name
+		if display == "" {
+			display = "(default)"
+		}
+		if ok == 0 {
+			fmt.Printf("CHECK FAIL: model %s answered no routed assigns\n", display)
+			failed = true
+		} else {
+			fmt.Printf("CHECK ok: model %s answered %d routed assigns\n", display, ok)
+		}
+	}
+	probe429 := false
+	if *probe > 0 {
+		status, err := shedProbe(client, base, names[0], *probe, *seed)
+		switch {
+		case err != nil:
+			fmt.Printf("CHECK FAIL: shed probe (%d points): %v\n", *probe, err)
+			failed = true
+		case status != http.StatusTooManyRequests:
+			fmt.Printf("CHECK FAIL: shed probe (%d points) got status %d, want 429\n", *probe, status)
+			failed = true
+		default:
+			probe429 = true
+			fmt.Printf("CHECK ok: shed probe (%d points) rejected with 429\n", *probe)
+		}
+	}
+
+	if *label != "" {
+		path := "BENCH_serve_" + *label + ".json"
+		if err := writeReport(path, *label, base, names, *batch, *stage, *chaosLat, results, peak, *probe > 0, probe429); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// StageResult is one ramp stage's aggregate in the report.
+type StageResult struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int64   `json:"requests"`
+	OK          int64   `json:"ok"`
+	Shed        int64   `json:"shed"`
+	Errors      int64   `json:"errors"`
+	RPS         float64 `json:"rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+}
+
+// Report is the schema of a BENCH_serve_<label>.json file.
+type Report struct {
+	Label          string        `json:"label"`
+	Target         string        `json:"target"`
+	Models         []string      `json:"models"`
+	Batch          int           `json:"batch"`
+	StageSeconds   float64       `json:"stage_seconds"`
+	ChaosLatencyMs float64       `json:"chaos_latency_ms,omitempty"`
+	GoVersion      string        `json:"go_version"`
+	GOMAXPROCS     int           `json:"gomaxprocs"`
+	CreatedAt      string        `json:"created_at"`
+	Stages         []StageResult `json:"stages"`
+	PeakRPS        float64       `json:"peak_rps"`
+	ShedProbeRan   bool          `json:"shed_probe_ran"`
+	ShedProbe429   bool          `json:"shed_probe_429"`
+}
+
+func writeReport(path, label, target string, models []string, batch int, stage, chaosLat time.Duration,
+	stages []StageResult, peak float64, probeRan, probe429 bool) error {
+	rep := Report{
+		Label:          label,
+		Target:         target,
+		Models:         models,
+		Batch:          batch,
+		StageSeconds:   stage.Seconds(),
+		ChaosLatencyMs: float64(chaosLat) / float64(time.Millisecond),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		CreatedAt:      time.Now().UTC().Format(time.RFC3339),
+		Stages:         stages,
+		PeakRPS:        peak,
+		ShedProbeRan:   probeRan,
+		ShedProbe429:   probe429,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("write report: %w", err)
+	}
+	return nil
+}
+
+// modelBody is a pre-marshaled assign request for one model.
+type modelBody struct {
+	model string
+	body  []byte
+}
+
+// buildBodies discovers each model's ambient dimension via /v1/models
+// and pre-marshals one deterministic batch request per routed model, so
+// the hot loop does no JSON encoding.
+func buildBodies(client *http.Client, base string, names []string, batch int, seed int64) ([]modelBody, error) {
+	infos, err := fetchModels(client, base)
+	if err != nil {
+		return nil, err
+	}
+	ambient := make(map[string]int, len(infos))
+	defaultAmbient := 0
+	for _, mi := range infos {
+		if !mi.Active {
+			continue
+		}
+		ambient[mi.Name] = mi.Ambient
+		if mi.Default {
+			defaultAmbient = mi.Ambient
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([]modelBody, 0, len(names))
+	for _, name := range names {
+		dim := defaultAmbient
+		if name != "" {
+			var ok bool
+			if dim, ok = ambient[name]; !ok {
+				return nil, fmt.Errorf("model %q is not served (see GET %s/v1/models)", name, base)
+			}
+		}
+		if dim == 0 {
+			return nil, fmt.Errorf("no default model served on %s", base)
+		}
+		points := make([][]float64, batch)
+		for i := range points {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = rng.NormFloat64()
+			}
+			points[i] = p
+		}
+		raw, err := json.Marshal(serve.AssignRequest{Model: name, Points: points})
+		if err != nil {
+			return nil, fmt.Errorf("marshal request for %q: %w", name, err)
+		}
+		bodies = append(bodies, modelBody{model: name, body: raw})
+	}
+	return bodies, nil
+}
+
+func fetchModels(client *http.Client, base string) ([]serve.ModelInfo, error) {
+	resp, err := client.Get(base + "/v1/models")
+	if err != nil {
+		return nil, fmt.Errorf("discover models: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("discover models: status %d: %s", resp.StatusCode, data)
+	}
+	var infos []serve.ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("discover models: %w", err)
+	}
+	return infos, nil
+}
+
+// runStage drives conc workers against /v1/assign for dur, rotating
+// over bodies. Latency percentiles cover successful requests only;
+// shed (429) and transport/other failures are counted separately.
+func runStage(client *http.Client, base string, bodies []modelBody, conc int, dur time.Duration,
+	perModelOK map[string]*atomic.Int64) StageResult {
+	var requests, okCount, shed, errs atomic.Int64
+	latencies := make([][]float64, conc)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var lats []float64
+			for i := w; time.Now().Before(deadline); i++ {
+				b := bodies[i%len(bodies)]
+				requests.Add(1)
+				t0 := time.Now()
+				status, err := post(client, base+"/v1/assign", b.body)
+				elapsed := time.Since(t0)
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case status == http.StatusOK:
+					okCount.Add(1)
+					perModelOK[b.model].Add(1)
+					lats = append(lats, float64(elapsed)/float64(time.Millisecond))
+				case status == http.StatusTooManyRequests:
+					shed.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+			latencies[w] = lats
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	sort.Float64s(all)
+	return StageResult{
+		Concurrency: conc,
+		Requests:    requests.Load(),
+		OK:          okCount.Load(),
+		Shed:        shed.Load(),
+		Errors:      errs.Load(),
+		RPS:         float64(requests.Load()) / elapsed.Seconds(),
+		P50Ms:       percentile(all, 0.50),
+		P99Ms:       percentile(all, 0.99),
+	}
+}
+
+// shedProbe sends one request with enough points to exceed the server's
+// admission bound and returns the status, which must be 429 on a server
+// that sheds rather than stalls.
+func shedProbe(client *http.Client, base, model string, points int, seed int64) (int, error) {
+	infos, err := fetchModels(client, base)
+	if err != nil {
+		return 0, err
+	}
+	dim := 0
+	for _, mi := range infos {
+		if mi.Active && (mi.Name == model || (model == "" && mi.Default)) {
+			dim = mi.Ambient
+		}
+	}
+	if dim == 0 {
+		return 0, fmt.Errorf("model %q not served", model)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	big := make([][]float64, points)
+	for i := range big {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		big[i] = p
+	}
+	raw, err := json.Marshal(serve.AssignRequest{Model: model, Points: big})
+	if err != nil {
+		return 0, err
+	}
+	return post(client, base+"/v1/assign", raw)
+}
+
+func post(client *http.Client, url string, body []byte) (int, error) {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// newClient builds the load-generation client. With chaos latency the
+// transport dials through a seeded chaos schedule and keep-alives are
+// disabled so every request pays the scripted dial cost, making the
+// injected degradation visible per request rather than per connection.
+func newClient(timeout time.Duration, seed int64, lat, jit time.Duration) *http.Client {
+	tr := &http.Transport{MaxIdleConnsPerHost: 256}
+	if lat > 0 {
+		sched := &chaos.Schedule{Seed: seed, Default: chaos.Script{Latency: lat, Jitter: jit}}
+		dialer := &net.Dialer{Timeout: timeout}
+		var device atomic.Int64
+		tr.DisableKeepAlives = true
+		tr.DialContext = func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dev := int(device.Add(1))
+			return sched.Wrap(dev, 0, func() (net.Conn, error) {
+				return dialer.DialContext(ctx, network, addr)
+			})
+		}
+	}
+	return &http.Client{Transport: tr, Timeout: timeout}
+}
+
+// selfHost deploys two synthetic models into a temp store and serves
+// them in-process: "alpha" and "beta" are ambient-8 artifacts whose
+// cluster bases are opposite axis permutations, so routed assigns are
+// exactly predictable and provably answered by distinct models.
+func selfHost(maxQueue, maxBatch int) (string, func(), error) {
+	dir, err := os.MkdirTemp("", "fedsc-load-*")
+	if err != nil {
+		return "", nil, err
+	}
+	cleanupDir := func() { _ = os.RemoveAll(dir) }
+	st, err := store.Open(dir)
+	if err != nil {
+		cleanupDir()
+		return "", nil, err
+	}
+	alpha, err := axisModel([]int{0, 1, 2, 3})
+	if err == nil {
+		_, err = st.PutTagged("alpha", alpha)
+	}
+	if err != nil {
+		cleanupDir()
+		return "", nil, err
+	}
+	beta, err := axisModel([]int{3, 2, 1, 0})
+	if err == nil {
+		_, err = st.PutTagged("beta", beta)
+	}
+	if err != nil {
+		cleanupDir()
+		return "", nil, err
+	}
+
+	reg := serve.NewRegistry()
+	if _, err := reg.UseStore(st); err != nil {
+		cleanupDir()
+		return "", nil, err
+	}
+	metrics := serve.NewMetrics()
+	batcher := serve.NewBatcher(reg, metrics, serve.BatcherOptions{MaxBatch: maxBatch, MaxQueue: maxQueue})
+	handler := serve.NewHandler(reg, batcher, metrics)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		batcher.Stop()
+		cleanupDir()
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: handler, ReadTimeout: 30 * time.Second, WriteTimeout: 30 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() {
+		_ = srv.Close()
+		batcher.Stop()
+		cleanupDir()
+	}
+	return "http://" + ln.Addr().String(), stop, nil
+}
+
+// axisModel builds a sealed ambient-8 artifact whose cluster g's basis
+// is the coordinate axis perm[g].
+func axisModel(perm []int) (*core.Model, error) {
+	const ambient = 8
+	m := &core.Model{Version: core.ModelVersion, Ambient: ambient, L: len(perm), Method: "ssc",
+		CreatedUnixNano: 1}
+	for _, axis := range perm {
+		data := make([]float64, ambient)
+		data[axis] = 1
+		m.Clusters = append(m.Clusters, core.ClusterBasis{Dim: 1, Data: data, Samples: 1})
+	}
+	m.Seal()
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// percentile returns the pth quantile of sorted (nearest-rank), or 0
+// when empty.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// parseRamp parses the comma-separated concurrency stages.
+func parseRamp(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-ramp must list positive integers, got %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-ramp is empty")
+	}
+	return out, nil
+}
+
+// splitModels parses -models; an empty flag routes the default model.
+func splitModels(s string) []string {
+	if s == "" {
+		return []string{""}
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fedsc-load: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,44 +1,58 @@
 // Command fedsc-serve is the online inference tier of the Fed-SC stack:
 // it serves "which cluster does this point belong to?" queries over HTTP
-// against the model artifact a completed one-shot round produced.
+// against model artifacts a completed one-shot round produced.
 //
-// Serve an existing artifact (written by `fedsc -save`, `fedsc-server
+// Serve a single artifact file (written by `fedsc -save`, `fedsc-server
 // -save` or a previous `fedsc-serve -train`):
 //
 //	fedsc-serve -addr :8080 -model round.fedsc
+//
+// Serve every model of a content-addressed artifact store (written by
+// the `-store` flag on the training binaries); /v1/assign routes by the
+// request's "model" field and /v1/reload hot-deploys manifest changes:
+//
+//	fedsc-serve -addr :8080 -store ./models
 //
 // Or run a federated round first (the server side of the one-shot
 // protocol, pair with cmd/fedsc-client) and serve its result:
 //
 //	fedsc-serve -addr :8080 -train -fed-addr :7070 -clients 8 -L 20 \
-//	    -save round.fedsc
+//	    -store ./models -tag cohort-a
 //
-// Endpoints: POST /v1/assign (single point or batch), GET /v1/models,
-// POST /v1/reload, GET /healthz, GET /metrics (Prometheus text format).
-// SIGINT/SIGTERM trigger a graceful drain.
+// Endpoints: POST /v1/assign (single point or batch, optional model
+// routing), GET /v1/models, POST /v1/reload, GET /healthz, GET /metrics
+// (Prometheus text format). Admission control sheds load with 429 once
+// the batcher's bounded queue is full. SIGINT/SIGTERM trigger a
+// graceful drain.
 //
-//	curl -s localhost:8080/v1/assign -d '{"point": [0.1, -0.3, 0.7]}'
+//	curl -s localhost:8080/v1/assign -d '{"model": "cohort-a", "point": [0.1, -0.3, 0.7]}'
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"fedsc/internal/core"
 	"fedsc/internal/fednet"
 	"fedsc/internal/obs"
 	"fedsc/internal/serve"
+	"fedsc/internal/store"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "HTTP listen address")
-		model     = flag.String("model", "", "model artifact to serve")
+		model     = flag.String("model", "", "single model artifact file to serve")
+		storeDir  = flag.String("store", "", "content-addressed artifact store to serve (all manifest models)")
+		tag       = flag.String("tag", "round", "manifest name for the trained artifact (with -train -store)")
 		train     = flag.Bool("train", false, "run a federated round first and serve its result")
 		fedAddr   = flag.String("fed-addr", ":7070", "federated-round listen address (with -train)")
 		clients   = flag.Int("clients", 4, "devices to wait for (with -train)")
@@ -46,36 +60,49 @@ func main() {
 		central   = flag.String("central", "ssc", "central clustering: ssc or tsc (with -train)")
 		seed      = flag.Int64("seed", 1, "server random seed (with -train)")
 		targetDim = flag.String("dim", "auto", "per-cluster basis dimension: auto or an integer (with -train)")
-		save      = flag.String("save", "", "also save the trained artifact here (with -train)")
+		save      = flag.String("save", "", "also save the trained artifact to this file (with -train)")
 		maxBatch  = flag.Int("batch", 64, "max points scored as one blocked batch")
 		batchWait = flag.Duration("batch-wait", 200*time.Microsecond, "how long to hold an underfull batch open")
 		workers   = flag.Int("workers", 0, "batch workers (0 = GOMAXPROCS)")
+		maxQueue  = flag.Int("queue", 0, "admission queue bound in points; beyond it requests get 429 (0 = 64*batch)")
 		grace     = flag.Duration("grace", 5*time.Second, "graceful-shutdown drain window")
-		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
+		debugAddr = flag.String("debug-addr", "", "serve /metrics, /debug/pprof and /storez on this address (empty = disabled)")
 	)
 	flag.Parse()
 
+	if *model != "" && *storeDir != "" {
+		fatalf("-model and -store are mutually exclusive")
+	}
+	if *model != "" && *train {
+		fatalf("-model and -train are mutually exclusive")
+	}
+
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
 	if *debugAddr != "" {
-		dbg, err := obs.ServeDebug(*debugAddr, obs.Default(), nil)
+		var extra []obs.DebugEndpoint
+		if st != nil {
+			extra = append(extra, obs.DebugEndpoint{Pattern: "/storez", Handler: storezHandler(st)})
+		}
+		dbg, err := obs.ServeDebug(*debugAddr, obs.Default(), nil, extra...)
 		if err != nil {
 			fatalf("debug listener: %v", err)
 		}
-		log.Printf("fedsc-serve: debug endpoints on http://%s/metrics and /debug/pprof/", dbg)
+		endpoints := "/metrics and /debug/pprof/"
+		if st != nil {
+			endpoints += " and /storez"
+		}
+		log.Printf("fedsc-serve: debug endpoints on http://%s%s", dbg, " "+endpoints)
 	}
 
 	reg := serve.NewRegistry()
-	switch {
-	case *model != "" && *train:
-		fatalf("-model and -train are mutually exclusive")
-	case *model != "":
-		if err := reg.LoadFile(*model); err != nil {
-			fatalf("%v", err)
-		}
-		cur := reg.Current()
-		log.Printf("fedsc-serve: loaded %s (L=%d, ambient=%d, method=%s, created %s)",
-			cur.Name, cur.Model.L, cur.Model.Ambient, cur.Model.Method,
-			cur.Model.Created().Format(time.RFC3339))
-	case *train:
+	if *train {
 		m, err := trainRound(*fedAddr, *clients, *l, *central, *seed, *targetDim)
 		if err != nil {
 			fatalf("%v", err)
@@ -85,14 +112,48 @@ func main() {
 				fatalf("%v", err)
 			}
 			log.Printf("fedsc-serve: saved artifact to %s", *save)
+		}
+		switch {
+		case st != nil:
+			digest, err := st.PutTagged(*tag, m)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			log.Printf("fedsc-serve: stored artifact %s as %q in %s", digest[:12], *tag, *storeDir)
+		case *save != "":
 			if err := reg.LoadFile(*save); err != nil {
 				fatalf("%v", err)
 			}
-		} else if err := reg.SetModel(fmt.Sprintf("round-%d", time.Now().Unix()), m); err != nil {
+		default:
+			if err := reg.SetModel(fmt.Sprintf("round-%d", time.Now().Unix()), m); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	}
+	switch {
+	case st != nil:
+		names, err := reg.UseStore(st)
+		if err != nil {
 			fatalf("%v", err)
 		}
+		if len(names) == 0 {
+			log.Printf("fedsc-serve: store %s has no models yet; unhealthy until a deploy + /v1/reload", *storeDir)
+		} else {
+			log.Printf("fedsc-serve: serving %d models from %s: %s",
+				len(names), *storeDir, strings.Join(names, ", "))
+		}
+	case *model != "":
+		if err := reg.LoadFile(*model); err != nil {
+			fatalf("%v", err)
+		}
+		cur := reg.Current()
+		log.Printf("fedsc-serve: loaded %s (L=%d, ambient=%d, method=%s, created %s)",
+			cur.Name, cur.Model.L, cur.Model.Ambient, cur.Model.Method,
+			cur.Model.Created().Format(time.RFC3339))
+	case *train:
+		// Registry already populated above.
 	default:
-		fatalf("need -model <artifact> or -train (see -h)")
+		fatalf("need -model <artifact>, -store <dir> or -train (see -h)")
 	}
 
 	// Publish the serving metrics on the process-wide registry so one
@@ -103,6 +164,7 @@ func main() {
 		MaxBatch: *maxBatch,
 		MaxWait:  *batchWait,
 		Workers:  *workers,
+		MaxQueue: *maxQueue,
 	})
 	handler := serve.NewHandler(reg, batcher, metrics)
 	ln, err := net.Listen("tcp", *addr)
@@ -115,8 +177,31 @@ func main() {
 	if err := serve.Serve(ctx, ln, handler, *grace); err != nil {
 		fatalf("%v", err)
 	}
-	log.Printf("fedsc-serve: drained after %d requests (%d points assigned)",
-		metrics.Requests(), metrics.Assigned())
+	log.Printf("fedsc-serve: drained after %d requests (%d points assigned, %d shed)",
+		metrics.Requests(), metrics.Assigned(), metrics.Shed())
+}
+
+// storezHandler renders the artifact store's operational stats (blob
+// count and bytes, manifest entries, default model) plus the manifest
+// itself as JSON on the -debug-addr mux.
+func storezHandler(st *store.Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		stats, err := st.Stats()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		resp := struct {
+			Stats    store.Stats    `json:"stats"`
+			Manifest store.Manifest `json:"manifest"`
+		}{stats, st.Manifest()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		// The status line is already on the wire; an encode failure here
+		// means the client hung up, and there is no channel left to tell it.
+		_ = enc.Encode(resp)
+	})
 }
 
 // trainRound runs the server side of one federated round and returns the

@@ -19,6 +19,7 @@ import (
 	"fedsc/internal/core"
 	"fedsc/internal/fednet"
 	"fedsc/internal/obs"
+	"fedsc/internal/store"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 		central   = flag.String("central", "ssc", "central clustering: ssc or tsc")
 		seed      = flag.Int64("seed", 1, "server random seed")
 		save      = flag.String("save", "", "save the serving artifact here after the round")
+		storeDir  = flag.String("store", "", "deploy the serving artifact into this content-addressed store")
+		tag       = flag.String("tag", "round", "manifest name for the artifact (with -store)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
@@ -63,7 +66,7 @@ func main() {
 		Expect:  *clients,
 		Central: core.CentralOptions{Method: method},
 		Seed:    *seed,
-		Export:  *save != "",
+		Export:  *save != "" || *storeDir != "",
 	}
 	stats, err := srv.Serve(ln)
 	if err != nil {
@@ -71,13 +74,26 @@ func main() {
 	}
 	fmt.Printf("round complete: %d samples pooled, %d uplink bytes\n",
 		stats.Samples, stats.UplinkBytes)
-	if *save != "" {
+	if *save != "" || *storeDir != "" {
 		if stats.Model == nil {
 			log.Fatalf("fedsc-server: round pooled no samples, nothing to save")
 		}
-		if err := stats.Model.Save(*save); err != nil {
-			log.Fatalf("fedsc-server: save model: %v", err)
+		if *save != "" {
+			if err := stats.Model.Save(*save); err != nil {
+				log.Fatalf("fedsc-server: save model: %v", err)
+			}
+			fmt.Printf("saved serving artifact to %s\n", *save)
 		}
-		fmt.Printf("saved serving artifact to %s\n", *save)
+		if *storeDir != "" {
+			st, err := store.Open(*storeDir)
+			if err != nil {
+				log.Fatalf("fedsc-server: %v", err)
+			}
+			digest, err := st.PutTagged(*tag, stats.Model)
+			if err != nil {
+				log.Fatalf("fedsc-server: store model: %v", err)
+			}
+			fmt.Printf("deployed artifact %s as %q in %s\n", digest[:12], *tag, *storeDir)
+		}
 	}
 }

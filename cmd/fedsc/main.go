@@ -21,28 +21,31 @@ import (
 	"fedsc/internal/mat"
 	"fedsc/internal/metrics"
 	"fedsc/internal/obs"
+	"fedsc/internal/store"
 	"fedsc/internal/subspace"
 	"fedsc/internal/synth"
 )
 
 func main() {
 	var (
-		method  = flag.String("method", "fedsc-ssc", "fedsc-ssc | fedsc-tsc | kfed | kfed-pca10 | kfed-pca100 | ssc | tsc | sscomp | ensc | nsn")
-		dataset = flag.String("dataset", "synthetic", "synthetic | emnist | coil")
-		l       = flag.Int("L", 20, "number of global clusters (synthetic)")
-		z       = flag.Int("Z", 100, "number of devices")
-		lprime  = flag.Int("lprime", 2, "clusters per device L' (0 = IID)")
-		points  = flag.Int("points", 4000, "total number of data points (approximate)")
-		dim     = flag.Int("dim", 5, "subspace dimension (synthetic)")
-		ambient = flag.Int("ambient", 20, "ambient dimension (synthetic) or feature dim (real)")
-		noise   = flag.Float64("noise", 0, "channel-noise δ for Fed-SC uploads")
-		seed    = flag.Int64("seed", 1, "random seed")
-		save    = flag.String("save", "", "save the serving artifact here (fedsc-ssc/fedsc-tsc only)")
-		trace   = flag.String("trace", "", "write the round's span tree as canonical JSONL here and render a waterfall (fedsc-ssc/fedsc-tsc only)")
+		method   = flag.String("method", "fedsc-ssc", "fedsc-ssc | fedsc-tsc | kfed | kfed-pca10 | kfed-pca100 | ssc | tsc | sscomp | ensc | nsn")
+		dataset  = flag.String("dataset", "synthetic", "synthetic | emnist | coil")
+		l        = flag.Int("L", 20, "number of global clusters (synthetic)")
+		z        = flag.Int("Z", 100, "number of devices")
+		lprime   = flag.Int("lprime", 2, "clusters per device L' (0 = IID)")
+		points   = flag.Int("points", 4000, "total number of data points (approximate)")
+		dim      = flag.Int("dim", 5, "subspace dimension (synthetic)")
+		ambient  = flag.Int("ambient", 20, "ambient dimension (synthetic) or feature dim (real)")
+		noise    = flag.Float64("noise", 0, "channel-noise δ for Fed-SC uploads")
+		seed     = flag.Int64("seed", 1, "random seed")
+		save     = flag.String("save", "", "save the serving artifact here (fedsc-ssc/fedsc-tsc only)")
+		storeDir = flag.String("store", "", "deploy the serving artifact into this content-addressed store (fedsc-ssc/fedsc-tsc only)")
+		tag      = flag.String("tag", "round", "manifest name for the artifact (with -store)")
+		trace    = flag.String("trace", "", "write the round's span tree as canonical JSONL here and render a waterfall (fedsc-ssc/fedsc-tsc only)")
 	)
 	flag.Parse()
-	if *save != "" && *method != "fedsc-ssc" && *method != "fedsc-tsc" {
-		fatalf("-save requires -method fedsc-ssc or fedsc-tsc (got %q)", *method)
+	if (*save != "" || *storeDir != "") && *method != "fedsc-ssc" && *method != "fedsc-tsc" {
+		fatalf("-save/-store require -method fedsc-ssc or fedsc-tsc (got %q)", *method)
 	}
 	if *trace != "" && *method != "fedsc-ssc" && *method != "fedsc-tsc" {
 		fatalf("-trace requires -method fedsc-ssc or fedsc-tsc (got %q)", *method)
@@ -127,15 +130,28 @@ func main() {
 				fatalf("write trace: %v", err)
 			}
 		}
-		if *save != "" {
+		if *save != "" || *storeDir != "" {
 			model, err := core.ModelFromResult(res, numClusters, 0, m)
 			if err != nil {
 				fatalf("build model: %v", err)
 			}
-			if err := model.Save(*save); err != nil {
-				fatalf("save model: %v", err)
+			if *save != "" {
+				if err := model.Save(*save); err != nil {
+					fatalf("save model: %v", err)
+				}
+				fmt.Printf("saved serving artifact to %s\n", *save)
 			}
-			fmt.Printf("saved serving artifact to %s\n", *save)
+			if *storeDir != "" {
+				st, err := store.Open(*storeDir)
+				if err != nil {
+					fatalf("%v", err)
+				}
+				digest, err := st.PutTagged(*tag, model)
+				if err != nil {
+					fatalf("store model: %v", err)
+				}
+				fmt.Printf("deployed artifact %s as %q in %s\n", digest[:12], *tag, *storeDir)
+			}
 		}
 	case "kfed", "kfed-pca10", "kfed-pca100":
 		pcaDim := map[string]int{"kfed": 0, "kfed-pca10": 10, "kfed-pca100": 100}[*method]

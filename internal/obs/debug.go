@@ -6,11 +6,24 @@ import (
 	"net/http/pprof"
 )
 
+// DebugEndpoint mounts one extra handler on the -debug-addr mux, so a
+// binary can expose operational views beyond /metrics and pprof (e.g.
+// fedsc-serve's /storez artifact-store stats) without running a second
+// listener.
+type DebugEndpoint struct {
+	// Pattern is the http.ServeMux pattern (e.g. "/storez"). Patterns
+	// colliding with /metrics or /debug/pprof/* panic at mux
+	// registration, which is the right time to learn about it.
+	Pattern string
+	Handler http.Handler
+}
+
 // NewDebugHandler returns the operational endpoint mux mounted behind
 // -debug-addr on the long-running binaries: /metrics renders reg (the
 // process-wide Default registry when nil) in the Prometheus text
-// format, and /debug/pprof/* exposes the standard runtime profiles.
-func NewDebugHandler(reg *Registry) http.Handler {
+// format, /debug/pprof/* exposes the standard runtime profiles, and
+// any extra endpoints are mounted at their patterns.
+func NewDebugHandler(reg *Registry, extra ...DebugEndpoint) http.Handler {
 	if reg == nil {
 		reg = Default()
 	}
@@ -24,6 +37,9 @@ func NewDebugHandler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extra {
+		mux.Handle(e.Pattern, e.Handler)
+	}
 	return mux
 }
 
@@ -32,12 +48,12 @@ func NewDebugHandler(reg *Registry) http.Handler {
 // bound address (useful with ":0") or the listen error; serve errors
 // after startup only surface through errCh when non-nil. The debug
 // server is best-effort plumbing: it never takes the main service down.
-func ServeDebug(addr string, reg *Registry, errCh chan<- error) (net.Addr, error) {
+func ServeDebug(addr string, reg *Registry, errCh chan<- error, extra ...DebugEndpoint) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewDebugHandler(reg)}
+	srv := &http.Server{Handler: NewDebugHandler(reg, extra...)}
 	go func() {
 		err := srv.Serve(ln)
 		if errCh != nil {

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fedsc/internal/mat"
@@ -13,6 +15,11 @@ import (
 
 // ErrStopped is returned by Assign after the batcher has been stopped.
 var ErrStopped = errors.New("serve: batcher stopped")
+
+// ErrOverloaded is returned by Assign when the admission queue is full;
+// the HTTP layer maps it to 429 so saturation sheds load instead of
+// stacking latency until timeouts (or memory) give out.
+var ErrOverloaded = errors.New("serve: admission queue full")
 
 // Assignment is the answer to one point.
 type Assignment struct {
@@ -23,7 +30,7 @@ type Assignment struct {
 	Residual float64 `json:"residual"`
 }
 
-// BatcherOptions sizes the request coalescing.
+// BatcherOptions sizes the request coalescing and admission control.
 type BatcherOptions struct {
 	// MaxBatch is the largest number of points scored as one blocked
 	// matmul per cluster (default 64).
@@ -34,6 +41,12 @@ type BatcherOptions struct {
 	MaxWait time.Duration
 	// Workers is the number of batch workers (default GOMAXPROCS).
 	Workers int
+	// MaxQueue bounds the admission queue in points: a request whose
+	// points would push the pending total past it is rejected with
+	// ErrOverloaded instead of queued (default 64*MaxBatch). It must be
+	// at least the largest request a client may send — a single request
+	// bigger than MaxQueue can never be admitted.
+	MaxQueue int
 }
 
 func (o BatcherOptions) withDefaults() BatcherOptions {
@@ -49,14 +62,18 @@ func (o BatcherOptions) withDefaults() BatcherOptions {
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64 * o.MaxBatch
+	}
 	return o
 }
 
 // batchRequest is one caller's unit of work: a group of points that must
-// be answered together.
+// be answered together by one model.
 type batchRequest struct {
-	vecs [][]float64
-	out  chan batchResponse
+	model string
+	vecs  [][]float64
+	out   chan batchResponse
 }
 
 type batchResponse struct {
@@ -67,16 +84,20 @@ type batchResponse struct {
 
 // Batcher coalesces concurrent assignment requests into blocked batches:
 // each worker collects requests until MaxBatch points are pending or
-// MaxWait has passed since the first, stacks them into one matrix, and
-// scores all clusters with one blocked matmul each via the current
-// registry snapshot. Workers pull independently, so throughput scales to
-// Workers while a lone request still completes within MaxWait.
+// MaxWait has passed since the first, groups them by requested model,
+// stacks each group into one matrix, and scores it with one blocked
+// matmul per cluster via that model's registry snapshot. Workers pull
+// independently, so throughput scales to Workers while a lone request
+// still completes within MaxWait. Admission is bounded: at most
+// MaxQueue points may be pending, and requests beyond that are shed
+// with ErrOverloaded rather than queued.
 type Batcher struct {
 	reg     *Registry
 	metrics *Metrics
 	opts    BatcherOptions
 
 	reqs     chan *batchRequest
+	queued   atomic.Int64 // points admitted and not yet scored
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	stopOnce sync.Once
@@ -96,8 +117,13 @@ func NewBatcher(reg *Registry, metrics *Metrics, opts BatcherOptions) *Batcher {
 		reg:     reg,
 		metrics: metrics,
 		opts:    opts,
-		reqs:    make(chan *batchRequest, 4*opts.MaxBatch),
-		stop:    make(chan struct{}),
+		// Every request carries at least one point and admission caps
+		// pending points at MaxQueue, so a MaxQueue-deep channel can
+		// always absorb an admitted request: admitted sends never block,
+		// and overload surfaces only as ErrOverloaded (429), never as a
+		// stuck client.
+		reqs: make(chan *batchRequest, opts.MaxQueue),
+		stop: make(chan struct{}),
 	}
 	b.wg.Add(b.opts.Workers)
 	for i := 0; i < b.opts.Workers; i++ {
@@ -124,6 +150,7 @@ func (b *Batcher) Stop() {
 		for {
 			select {
 			case req := <-b.reqs:
+				b.release(req)
 				req.out <- batchResponse{err: ErrStopped}
 			default:
 				return
@@ -132,24 +159,63 @@ func (b *Batcher) Stop() {
 	})
 }
 
-// Assign scores one group of points (each of length ambient) as a unit
-// and returns their assignments plus the name of the model that scored
-// them. It blocks until a batch containing the group is scored, ctx is
-// done, or the batcher stops.
+// admit reserves queue capacity for the request's points, or reports
+// overload. release is its inverse; every admitted request is released
+// exactly once, when its answer is determined.
+func (b *Batcher) admit(req *batchRequest) bool {
+	n := int64(len(req.vecs))
+	if b.queued.Add(n) > int64(b.opts.MaxQueue) {
+		b.queued.Add(-n)
+		return false
+	}
+	if b.metrics != nil {
+		b.metrics.QueueAdd(n)
+	}
+	return true
+}
+
+func (b *Batcher) release(req *batchRequest) {
+	n := int64(len(req.vecs))
+	b.queued.Add(-n)
+	if b.metrics != nil {
+		b.metrics.QueueAdd(-n)
+	}
+}
+
+// Assign scores one group of points against the default model; see
+// AssignModel.
 func (b *Batcher) Assign(ctx context.Context, vecs [][]float64) ([]Assignment, string, error) {
+	return b.AssignModel(ctx, "", vecs)
+}
+
+// AssignModel scores one group of points (each of length ambient) as a
+// unit against the named model (empty = default route) and returns
+// their assignments plus the name of the snapshot that scored them. It
+// blocks until a batch containing the group is scored, ctx is done, or
+// the batcher stops; when the admission queue is full it fails fast
+// with ErrOverloaded instead of blocking.
+func (b *Batcher) AssignModel(ctx context.Context, model string, vecs [][]float64) ([]Assignment, string, error) {
 	if len(vecs) == 0 {
 		return nil, "", fmt.Errorf("serve: empty request")
 	}
-	req := &batchRequest{vecs: vecs, out: make(chan batchResponse, 1)}
+	req := &batchRequest{model: model, vecs: vecs, out: make(chan batchResponse, 1)}
 	b.mu.RLock()
 	if b.stopped {
 		b.mu.RUnlock()
 		return nil, "", ErrStopped
 	}
+	if !b.admit(req) {
+		b.mu.RUnlock()
+		if b.metrics != nil {
+			b.metrics.ObserveShed()
+		}
+		return nil, "", ErrOverloaded
+	}
 	select {
 	case b.reqs <- req:
 		b.mu.RUnlock()
 	case <-ctx.Done():
+		b.release(req)
 		b.mu.RUnlock()
 		return nil, "", ctx.Err()
 	}
@@ -213,22 +279,48 @@ func (b *Batcher) worker() {
 	}
 }
 
-// score stacks the batch into one matrix, runs the engine, and fans the
-// answers back out to the waiting callers.
+// score groups the batch by requested model, stacks each group into one
+// matrix, runs that model's engine, and fans the answers back out to
+// the waiting callers. Each group resolves its registry snapshot
+// exactly once, so every request in it is answered from one immutable
+// engine even while reloads land concurrently.
 func (b *Batcher) score(batch []*batchRequest) {
-	snap := b.reg.Current()
+	for _, req := range batch {
+		b.release(req)
+	}
+	groups := map[string][]*batchRequest{}
+	for _, req := range batch {
+		groups[req.model] = append(groups[req.model], req)
+	}
+	models := make([]string, 0, len(groups))
+	for model := range groups {
+		models = append(models, model)
+	}
+	sort.Strings(models)
+	for _, model := range models {
+		b.scoreModel(model, groups[model])
+	}
+}
+
+// scoreModel answers one same-model group against a single snapshot.
+func (b *Batcher) scoreModel(model string, group []*batchRequest) {
+	snap := b.reg.Get(model)
 	if snap == nil {
-		for _, req := range batch {
-			req.out <- batchResponse{err: fmt.Errorf("serve: no model loaded")}
+		err := fmt.Errorf("serve: no model loaded")
+		if model != "" {
+			err = fmt.Errorf("serve: unknown model %q", model)
+		}
+		for _, req := range group {
+			req.out <- batchResponse{err: err}
 		}
 		return
 	}
 	n := snap.Engine.Ambient()
 	// Validate per request: one malformed request must not fail the
 	// others sharing its batch.
-	valid := batch[:0:0]
+	valid := group[:0:0]
 	points := 0
-	for _, req := range batch {
+	for _, req := range group {
 		ok := true
 		for _, v := range req.vecs {
 			if len(v) != n {

@@ -13,8 +13,10 @@ import (
 )
 
 // AssignRequest is the /v1/assign body: either a single point or a
-// batch. Exactly one of Point and Points must be set.
+// batch. Exactly one of Point and Points must be set. Model routes the
+// request to a named registry entry; empty picks the default model.
 type AssignRequest struct {
+	Model  string      `json:"model,omitempty"`
 	Point  []float64   `json:"point,omitempty"`
 	Points [][]float64 `json:"points,omitempty"`
 }
@@ -33,11 +35,17 @@ type errorResponse struct {
 
 // Handler is the serving API:
 //
-//	POST /v1/assign   assign one point or a batch by minimum residual
+//	POST /v1/assign   assign one point or a batch by minimum residual,
+//	                  optionally routed to a named model
 //	GET  /v1/models   list loaded model artifacts
-//	POST /v1/reload   re-read the artifact from disk and hot-swap it
+//	POST /v1/reload   re-sync from the artifact store (or re-read the
+//	                  single artifact file) and hot-swap changed models
 //	GET  /healthz     readiness (200 once a model is loaded)
 //	GET  /metrics     Prometheus text metrics
+//
+// Admission control: when the batcher's bounded queue is full, assign
+// answers 429 immediately — saturation sheds load instead of growing
+// latency without bound.
 type Handler struct {
 	reg     *Registry
 	batcher *Batcher
@@ -93,10 +101,13 @@ func (h *Handler) assign(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty request"})
 		return
 	}
-	assignments, model, err := h.batcher.Assign(r.Context(), vecs)
+	assignments, model, err := h.batcher.AssignModel(r.Context(), req.Model, vecs)
 	if err != nil {
 		status := http.StatusBadRequest
 		switch {
+		case errors.Is(err, ErrOverloaded):
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
 		case errors.Is(err, ErrStopped):
 			status = http.StatusServiceUnavailable
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
@@ -109,8 +120,28 @@ func (h *Handler) assign(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, AssignResponse{Assignments: assignments, Model: model})
 }
 
+// requireGET enforces the read-only method contract the POST endpoints
+// already have for theirs: anything but GET is 405, not a silent 200.
+func requireGET(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "GET required"})
+		return false
+	}
+	return true
+}
+
 func (h *Handler) models(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	writeJSON(w, http.StatusOK, h.reg.Models())
+}
+
+// ReloadResponse answers /v1/reload: the served model names after the
+// sync and the names the sync changed (loaded, replaced, or removed).
+type ReloadResponse struct {
+	Models  []string `json:"models"`
+	Changed []string `json:"changed"`
 }
 
 func (h *Handler) reload(w http.ResponseWriter, r *http.Request) {
@@ -118,15 +149,21 @@ func (h *Handler) reload(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST required"})
 		return
 	}
-	if err := h.reg.Reload(); err != nil {
+	changed, err := h.reg.Reload()
+	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
-	cur := h.reg.Current()
-	writeJSON(w, http.StatusOK, map[string]string{"reloaded": cur.Name})
+	if changed == nil {
+		changed = []string{}
+	}
+	writeJSON(w, http.StatusOK, ReloadResponse{Models: h.reg.Names(), Changed: changed})
 }
 
 func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	if h.reg.Current() == nil {
 		http.Error(w, "no model loaded", http.StatusServiceUnavailable)
 		return
@@ -136,6 +173,9 @@ func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (h *Handler) prometheus(w http.ResponseWriter, r *http.Request) {
+	if !requireGET(w, r) {
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	h.metrics.WritePrometheus(w)
 }

@@ -21,7 +21,13 @@ func startServer(t *testing.T, reg *Registry) (string, func()) {
 	t.Helper()
 	metrics := NewMetrics()
 	b := NewBatcher(reg, metrics, BatcherOptions{MaxBatch: 32, MaxWait: 200 * time.Microsecond})
-	h := NewHandler(reg, b, metrics)
+	return startListener(t, NewHandler(reg, b, metrics))
+}
+
+// startListener serves a caller-built handler (Serve stops its batcher
+// on shutdown) on a loopback listener.
+func startListener(t *testing.T, h *Handler) (string, func()) {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("listen: %v", err)

@@ -18,10 +18,13 @@ type Metrics struct {
 	reg         *obs.Registry
 	requests    *obs.Counter
 	errors      *obs.Counter
+	shed        *obs.Counter
 	inFlight    *obs.Gauge
+	queueDepth  *obs.Gauge
 	latency     *obs.Histogram
 	batchSize   *obs.Histogram
 	assignments *obs.CounterVec
+	batches     *obs.CounterVec
 }
 
 // NewMetrics returns a metrics sink over a private registry with
@@ -34,15 +37,18 @@ func NewMetrics() *Metrics { return NewMetricsOn(obs.NewRegistry()) }
 // one registry.
 func NewMetricsOn(reg *obs.Registry) *Metrics {
 	return &Metrics{
-		reg:      reg,
-		requests: reg.Counter("fedsc_serve_requests_total", "Assignment requests accepted."),
-		errors:   reg.Counter("fedsc_serve_request_errors_total", "Assignment requests answered with an error."),
-		inFlight: reg.Gauge("fedsc_serve_in_flight", "Requests currently being served."),
+		reg:        reg,
+		requests:   reg.Counter("fedsc_serve_requests_total", "Assignment requests accepted."),
+		errors:     reg.Counter("fedsc_serve_request_errors_total", "Assignment requests answered with an error."),
+		shed:       reg.Counter("fedsc_serve_shed_total", "Assignment requests shed with 429 by admission control."),
+		inFlight:   reg.Gauge("fedsc_serve_in_flight", "Requests currently being served."),
+		queueDepth: reg.Gauge("fedsc_serve_queue_depth", "Points admitted and awaiting scoring."),
 		latency: reg.Histogram("fedsc_serve_latency_seconds", "Request latency in seconds.",
 			[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}),
 		batchSize: reg.Histogram("fedsc_serve_batch_points", "Points per scored batch.",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096}),
 		assignments: reg.CounterVec("fedsc_serve_assignments_total", "Points assigned, by model.", "model"),
+		batches:     reg.CounterVec("fedsc_serve_model_batches_total", "Scored batches, by model.", "model"),
 	}
 }
 
@@ -68,7 +74,15 @@ func (m *Metrics) RequestStart() func(err bool) {
 func (m *Metrics) ObserveBatch(name string, b int) {
 	m.batchSize.Observe(float64(b))
 	m.assignments.With(name).Add(int64(b))
+	m.batches.With(name).Inc()
 }
+
+// ObserveShed marks one request rejected by admission control (the
+// bounded queue was full; the client saw 429).
+func (m *Metrics) ObserveShed() { m.shed.Inc() }
+
+// QueueAdd moves the admission-queue depth gauge by n points.
+func (m *Metrics) QueueAdd(n int64) { m.queueDepth.Add(n) }
 
 // Requests returns the number of accepted requests.
 func (m *Metrics) Requests() int64 { return m.requests.Value() }
@@ -78,6 +92,15 @@ func (m *Metrics) Errors() int64 { return m.errors.Value() }
 
 // InFlight returns the number of requests currently being served.
 func (m *Metrics) InFlight() int64 { return m.inFlight.Value() }
+
+// Shed returns the number of requests rejected by admission control.
+func (m *Metrics) Shed() int64 { return m.shed.Value() }
+
+// QueueDepth returns the points currently admitted and awaiting scoring.
+func (m *Metrics) QueueDepth() int64 { return m.queueDepth.Value() }
+
+// AssignedTo returns the points assigned by one named model.
+func (m *Metrics) AssignedTo(name string) int64 { return m.assignments.With(name).Value() }
 
 // Assigned returns the total points assigned across all models.
 func (m *Metrics) Assigned() int64 { return m.assignments.Total() }

@@ -32,33 +32,49 @@ func TestRegistryHistoryCap(t *testing.T) {
 	}
 }
 
-// TestRegistryActiveBySnapshotIdentity is the regression test for the
-// Active flag: it must follow the snapshot readers actually score
-// against, not the last history index. Pre-fix, rolling back current to
-// an earlier snapshot still showed the newest load as active.
-func TestRegistryActiveBySnapshotIdentity(t *testing.T) {
-	_, _, m1 := trainModel(t, 72)
-	_, _, m2 := trainModel(t, 73)
+// TestRegistryActiveBySequenceNumber is the regression test for the
+// Active flag: it must key on the monotonic load sequence number, not
+// on wall-clock LoadedAt plus checksum. Two loads of the identical
+// artifact within one clock tick share both LoadedAt and checksum, so
+// an identity check built on them marks both history entries active;
+// Seq is allocated per load and never collides.
+func TestRegistryActiveBySequenceNumber(t *testing.T) {
+	_, _, m := trainModel(t, 72)
 	reg := NewRegistry()
-	if err := reg.SetModel("first", m1); err != nil {
+	if err := reg.SetModel("first", m); err != nil {
 		t.Fatalf("SetModel first: %v", err)
 	}
-	firstSnap := reg.Current()
-	if err := reg.SetModel("second", m2); err != nil {
+	firstSnap := reg.Get("first")
+	if err := reg.SetModel("second", m); err != nil {
 		t.Fatalf("SetModel second: %v", err)
 	}
-	// Roll the served snapshot back without touching the history — the
-	// situation the identity check exists for.
-	reg.current.Store(firstSnap)
+	// Force the ambiguous wall-clock case: identical artifact, identical
+	// load time on both the snapshots and their history entries.
+	secondSnap := reg.Get("second")
+	secondSnap.LoadedAt = firstSnap.LoadedAt
+	reg.mu.Lock()
+	for i := range reg.history {
+		reg.history[i].LoadedAt = firstSnap.LoadedAt
+	}
+	reg.mu.Unlock()
+	// Roll the served set back to the first load only, without touching
+	// the history — the situation the identity check exists for.
+	reg.swapLocked(func(set *modelSet) {
+		delete(set.byName, "second")
+		set.def = "first"
+	})
 
 	infos := reg.Models()
 	if len(infos) != 2 {
 		t.Fatalf("history has %d entries, want 2", len(infos))
 	}
-	if !infos[0].Active {
-		t.Fatalf("served snapshot %q not marked active: %+v", firstSnap.Name, infos)
+	if infos[0].Seq == infos[1].Seq {
+		t.Fatalf("history entries share sequence number %d", infos[0].Seq)
+	}
+	if !infos[0].Active || !infos[0].Default {
+		t.Fatalf("served load %q not marked active default: %+v", firstSnap.Name, infos)
 	}
 	if infos[1].Active {
-		t.Fatalf("stale load %q marked active alongside the served one: %+v", infos[1].Name, infos)
+		t.Fatalf("rolled-back load %q marked active alongside the served one: %+v", infos[1].Name, infos)
 	}
 }
