@@ -4,7 +4,7 @@ GO ?= go
 # Label naming the machine-readable benchmark report (BENCH_<label>.json).
 BENCH_LABEL ?= local
 
-.PHONY: check fmt vet build test race lint chaos load bench bench-json
+.PHONY: check fmt vet build test race lint chaos load bench bench-json bench-gate
 
 check: fmt vet lint build race chaos load
 
@@ -49,3 +49,17 @@ bench:
 # the performance trajectory is tracked across PRs.
 bench-json:
 	$(GO) run ./cmd/fedsc-bench -json -label $(BENCH_LABEL)
+
+# Baseline report the regression gate compares against (the latest
+# committed BENCH_<label>.json), and the allowed fractional ns/op growth.
+# 15% is right for same-machine comparisons; CI runners differ from the
+# machine that recorded the baseline, so ci.yml passes a looser 0.5 —
+# the gate there catches algorithmic blowups, not percent-level drift
+# (see DESIGN.md on cross-environment benchmark drift).
+BENCH_BASELINE ?= BENCH_pr7.json
+BENCH_TOLERANCE ?= 0.15
+
+# Re-measure the tracked kernels and fail if any regressed beyond
+# BENCH_TOLERANCE versus BENCH_BASELINE.
+bench-gate:
+	$(GO) run ./cmd/fedsc-bench -compare $(BENCH_BASELINE) -tolerance $(BENCH_TOLERANCE)

@@ -84,6 +84,15 @@ func BenchmarkLocalClusterAndSample(b *testing.B) { perf.LocalClusterAndSample(b
 // BenchmarkFedSCRound measures a complete one-shot round end to end.
 func BenchmarkFedSCRound(b *testing.B) { perf.FedSCRound(b) }
 
+// BenchmarkFedSCRoundCentralHeavy measures a round whose pooled count
+// (256 samples from 128 devices) makes Phase 2 the dominant cost, with
+// the exact single-pass central solve.
+func BenchmarkFedSCRoundCentralHeavy(b *testing.B) { perf.FedSCRoundCentralHeavy(b) }
+
+// BenchmarkFedSCRoundSharded measures the same central-heavy round with
+// Phase 2 dealt into 4 shards and the pooled matrix sketched 64→32 rows.
+func BenchmarkFedSCRoundSharded(b *testing.B) { perf.FedSCRoundSharded(b) }
+
 // BenchmarkFedSCRoundUnderLatency measures a complete networked round
 // over the chaos transport with 2ms±1ms scripted latency per link.
 func BenchmarkFedSCRoundUnderLatency(b *testing.B) { perf.FedSCRoundUnderLatency(b) }

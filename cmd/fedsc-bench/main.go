@@ -13,6 +13,11 @@
 // kernel benchmarks (internal/perf) run and their ns/op, B/op and
 // allocs/op are written to BENCH_<label>.json, so the performance
 // trajectory is recorded machine-readably across PRs (`make bench-json`).
+//
+// With -compare BENCH_prev.json the tracked kernels run and each is
+// checked against the named baseline report; the command exits non-zero
+// if any kernel's ns/op grew beyond -tolerance (`make bench-gate`).
+// -json and -compare combine: measure once, record and gate together.
 package main
 
 import (
@@ -25,6 +30,35 @@ import (
 	"fedsc/internal/perf"
 )
 
+// gate compares the fresh measurements against the baseline report and
+// exits non-zero when any tracked kernel regressed beyond tolerance.
+// Kernels present on only one side are skipped, so adding or retiring a
+// benchmark never wedges the gate against an old baseline.
+func gate(baselinePath string, results []perf.Result, tolerance float64) {
+	base, err := perf.ReadReport(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fedsc-bench: %v\n", err)
+		os.Exit(1)
+	}
+	deltas := perf.Compare(base.Results, results, tolerance)
+	fmt.Printf("\nvs %s (label %q, tolerance +%.0f%%):\n", baselinePath, base.Label, 100*tolerance)
+	for _, d := range deltas {
+		mark := "ok"
+		if d.Regressed {
+			mark = "REGRESSED"
+		}
+		fmt.Printf("%-24s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			d.Name, d.PrevNs, d.CurNs, 100*(d.Ratio-1), mark)
+	}
+	if reg := perf.Regressions(deltas); len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "fedsc-bench: %d kernel(s) regressed beyond +%.0f%% vs %s\n",
+			len(reg), 100*tolerance, baselinePath)
+		os.Exit(1)
+	}
+	fmt.Printf("bench gate passed: %d kernel(s) within +%.0f%% of %s\n",
+		len(deltas), 100*tolerance, baselinePath)
+}
+
 func main() {
 	scaleName := flag.String("scale", "default", "workload scale: quick, default or paper")
 	seed := flag.Int64("seed", 1, "master random seed")
@@ -32,24 +66,31 @@ func main() {
 	doPlot := flag.Bool("plot", false, "render each table as a terminal chart (line or heatmap)")
 	jsonOut := flag.Bool("json", false, "run the tracked kernel benchmarks and write BENCH_<label>.json")
 	label := flag.String("label", "local", "label naming the -json output file")
+	compare := flag.String("compare", "", "baseline BENCH_<label>.json to gate the tracked kernels against")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional ns/op growth over the -compare baseline")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: fedsc-bench [flags] [experiment ...]\nexperiments: %v\nflags:\n", experiments.All())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	if *jsonOut {
-		path := fmt.Sprintf("BENCH_%s.json", *label)
+	if *jsonOut || *compare != "" {
 		results := perf.RunSuite()
 		for _, r := range results {
 			fmt.Printf("%-24s %12.0f ns/op %10d B/op %8d allocs/op\n",
 				r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
-		if err := perf.WriteJSON(path, *label, results); err != nil {
-			fmt.Fprintf(os.Stderr, "fedsc-bench: %v\n", err)
-			os.Exit(1)
+		if *jsonOut {
+			path := fmt.Sprintf("BENCH_%s.json", *label)
+			if err := perf.WriteJSON(path, *label, results); err != nil {
+				fmt.Fprintf(os.Stderr, "fedsc-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
 		}
-		fmt.Printf("wrote %s\n", path)
+		if *compare != "" {
+			gate(*compare, results, *tolerance)
+		}
 		return
 	}
 

@@ -18,6 +18,7 @@ import (
 
 	"fedsc/internal/core"
 	"fedsc/internal/fednet"
+	"fedsc/internal/mat"
 	"fedsc/internal/obs"
 	"fedsc/internal/store"
 )
@@ -28,6 +29,9 @@ func main() {
 		clients   = flag.Int("clients", 4, "number of client devices to wait for")
 		l         = flag.Int("L", 20, "number of global clusters")
 		central   = flag.String("central", "ssc", "central clustering: ssc or tsc")
+		shards    = flag.Int("shards", 0, "Phase 2 shard count (0/1 = exact single-pass central clustering)")
+		sketch    = flag.Int("sketch", 0, "Phase 2 ambient sketch size s (0 = no sketch)")
+		sketchK   = flag.String("sketch-kind", "gaussian", "Phase 2 sketch operator: gaussian | rows")
 		seed      = flag.Int64("seed", 1, "server random seed")
 		save      = flag.String("save", "", "save the serving artifact here after the round")
 		storeDir  = flag.String("store", "", "deploy the serving artifact into this content-addressed store")
@@ -62,11 +66,16 @@ func main() {
 		*clients, ln.Addr(), *l, *central)
 
 	srv := &fednet.Server{
-		L:       *l,
-		Expect:  *clients,
-		Central: core.CentralOptions{Method: method},
-		Seed:    *seed,
-		Export:  *save != "" || *storeDir != "",
+		L:      *l,
+		Expect: *clients,
+		Central: core.CentralOptions{
+			Method:     method,
+			Shards:     *shards,
+			SketchSize: *sketch,
+			SketchKind: mat.SketchKind(*sketchK),
+		},
+		Seed:   *seed,
+		Export: *save != "" || *storeDir != "",
 	}
 	stats, err := srv.Serve(ln)
 	if err != nil {

@@ -37,6 +37,9 @@ func main() {
 		dim      = flag.Int("dim", 5, "subspace dimension (synthetic)")
 		ambient  = flag.Int("ambient", 20, "ambient dimension (synthetic) or feature dim (real)")
 		noise    = flag.Float64("noise", 0, "channel-noise δ for Fed-SC uploads")
+		shards   = flag.Int("shards", 0, "Phase 2 shard count (0/1 = exact single-pass central clustering)")
+		sketch   = flag.Int("sketch", 0, "Phase 2 ambient sketch size s (0 = no sketch)")
+		sketchK  = flag.String("sketch-kind", "gaussian", "Phase 2 sketch operator: gaussian | rows")
 		seed     = flag.Int64("seed", 1, "random seed")
 		save     = flag.String("save", "", "save the serving artifact here (fedsc-ssc/fedsc-tsc only)")
 		storeDir = flag.String("store", "", "deploy the serving artifact into this content-addressed store (fedsc-ssc/fedsc-tsc only)")
@@ -117,8 +120,13 @@ func main() {
 			tracer = obs.NewTracer(nil)
 		}
 		res := core.Run(devices, numClusters, core.Options{
-			Local:      core.LocalOptions{UseEigengap: true, RMax: 2 * lp},
-			Central:    core.CentralOptions{Method: m},
+			Local: core.LocalOptions{UseEigengap: true, RMax: 2 * lp},
+			Central: core.CentralOptions{
+				Method:     m,
+				Shards:     *shards,
+				SketchSize: *sketch,
+				SketchKind: mat.SketchKind(*sketchK),
+			},
 			NoiseDelta: *noise,
 			Trace:      tracer,
 		}, rng)

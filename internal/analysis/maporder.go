@@ -25,7 +25,11 @@ import (
 //     without a deterministic key tie-break — on ties the winner is
 //     whichever key the runtime happens to visit first. A condition
 //     that also references the key (e.g. `v > bestV || (v == bestV &&
-//     k < bestK)`) passes.
+//     k < bestK)`) passes;
+//  5. drawing from a *rand.Rand — the stream is consumed in visit
+//     order, so even under a fixed master seed each key receives a
+//     different value from run to run. The shape behind per-shard seed
+//     deals: derive the draws over sorted keys, then fan out.
 //
 // Integer accumulation and pure lookups are order-insensitive and are
 // not flagged.
@@ -112,6 +116,7 @@ func checkMapRangeBody(pass *Pass, rng *ast.RangeStmt, sortCalls map[types.Objec
 			checkAssign(pass, rng, n, sortCalls)
 		case *ast.CallExpr:
 			checkOutputCall(pass, n)
+			checkRngDraw(pass, n)
 		case *ast.IfStmt:
 			checkSelection(pass, n, keyObj, valObj)
 		}
@@ -203,6 +208,38 @@ func checkOutputCall(pass *Pass, call *ast.CallExpr) {
 	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
 		pass.Reportf(call.Pos(), "%s inside map iteration writes in nondeterministic order", types.ExprString(sel))
 	}
+}
+
+// checkRngDraw flags draws from a *rand.Rand inside the loop (shape 5).
+// Any method on math/rand's (or math/rand/v2's) Rand counts: Int63 and
+// Intn for seed deals, Perm and Shuffle just as much — each consumes
+// generator state keyed to the runtime's visit order.
+func checkRngDraw(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return
+	}
+	t := selection.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "Rand" || obj.Pkg() == nil {
+		return
+	}
+	if p := obj.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"rand.Rand.%s inside map iteration consumes the stream in map order; draw over sorted keys instead", sel.Sel.Name)
 }
 
 // checkSelection flags order-dependent argmax/argmin (shape 4): a

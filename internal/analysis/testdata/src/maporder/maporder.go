@@ -5,6 +5,7 @@ package maporder
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 )
 
@@ -72,6 +73,33 @@ func GoodArgmax(m map[int]int) int {
 		}
 	}
 	return best
+}
+
+// BadShardSeeds deals per-shard seeds while iterating the shard map:
+// the stream is consumed in visit order, so the same shard receives a
+// different seed from run to run even under a fixed master seed.
+func BadShardSeeds(rng *rand.Rand, shards map[int][]int) map[int]int64 {
+	seeds := make(map[int]int64, len(shards))
+	for id := range shards {
+		seeds[id] = rng.Int63()
+	}
+	return seeds
+}
+
+// GoodShardSeeds deals over sorted shard IDs, so shard k always
+// receives the k-th draw of the master stream — the sanctioned
+// derive-then-fan-out shape for goroutine-per-shard work.
+func GoodShardSeeds(rng *rand.Rand, shards map[int][]int) map[int]int64 {
+	ids := make([]int, 0, len(shards))
+	for id := range shards {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	seeds := make(map[int]int64, len(shards))
+	for _, id := range ids {
+		seeds[id] = rng.Int63()
+	}
+	return seeds
 }
 
 // GoodLookup only reads; no order can leak.

@@ -4,7 +4,10 @@
 // constructors.
 package noglobalrand
 
-import "math/rand"
+import (
+	"math/rand"
+	"sync"
+)
 
 // Bad draws from the global source twice; both calls are findings.
 func Bad(n int) int {
@@ -24,4 +27,40 @@ func Good(rng *rand.Rand, n int) int {
 		return rng.Intn(n)
 	}
 	return rng.Perm(n)[0]
+}
+
+// BadShardWorker seeds each shard's generator inside its goroutine from
+// the global source — irreproducible twice over (global state, and a
+// draw order set by the scheduler).
+func BadShardWorker(shards int, out []int) {
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			local := rand.New(rand.NewSource(rand.Int63()))
+			out[k] = local.Intn(100)
+		}(k)
+	}
+	wg.Wait()
+}
+
+// GoodShardWorker derives one seed per shard from the injected parent
+// before any goroutine starts, so the whole fan-out is replayed exactly
+// by the master seed regardless of scheduling.
+func GoodShardWorker(rng *rand.Rand, shards int, out []int) {
+	seeds := make([]int64, shards)
+	for k := range seeds {
+		seeds[k] = rng.Int63()
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			local := rand.New(rand.NewSource(seeds[k]))
+			out[k] = local.Intn(100)
+		}(k)
+	}
+	wg.Wait()
 }

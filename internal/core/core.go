@@ -83,6 +83,19 @@ type CentralOptions struct {
 	// TSCQ overrides the TSC neighbor count; zero applies the paper's
 	// federated rule q = max(3, ⌈Z/L⌉).
 	TSCQ int
+	// Shards splits the pooled matrix into this many round-robin column
+	// shards, solved concurrently and merged by subspace affinity
+	// (see internal/core/shard.go). 0 or 1 runs the exact single-pass
+	// solve, bit-identical to the pre-sharding behavior. The count is
+	// clamped so every shard keeps at least L columns.
+	Shards int
+	// SketchSize, when positive and below the ambient dimension,
+	// row-compresses the pooled matrix to this many rows (mat.Sketch)
+	// before the solver runs. 0 disables sketching.
+	SketchSize int
+	// SketchKind selects the sketch operator; empty means the Gaussian
+	// JL projection (mat.SketchGaussianKind).
+	SketchKind mat.SketchKind
 }
 
 // Options configures a full Fed-SC run.

@@ -105,10 +105,11 @@ func aggregate(parent *obs.Span, devices []*mat.Dense, locals []LocalResult, l i
 		total += lr.Samples.Cols()
 	}
 	theta := mat.HStack(matrices...)
-	// Phase 2: central clustering of the pooled samples.
+	// Phase 2: central clustering of the pooled samples (sharded and/or
+	// sketched when opts.Central asks for it; exact otherwise).
 	phase2 := parent.Start("phase2.central", obs.Int("samples", total))
 	centralStart := time.Now()
-	central := CentralCluster(theta, z, l, opts.Central, rng)
+	central := centralCluster(phase2, opts.reg(), theta, z, l, opts.Central, rng)
 	centralTime := time.Since(centralStart)
 	phase2.End()
 	phase3 := parent.Start("phase3.relabel")
@@ -213,25 +214,13 @@ func publishRound(reg *obs.Registry, res Result, pooled int) {
 // sample matrix theta (columns = samples from z devices) into l global
 // clusters with the configured method. For TSC the paper's federated
 // neighbor rule q = max(3, ⌈Z/L⌉) applies unless TSCQ overrides it.
+// With opts.Shards > 1 and/or opts.SketchSize > 0 the sharded/sketched
+// pipeline of shard.go runs instead of the exact single pass.
 func CentralCluster(theta *mat.Dense, z, l int, opts CentralOptions, rng *rand.Rand) subspace.Result {
 	if opts.Method == "" {
 		opts.Method = CentralSSC
 	}
-	switch opts.Method {
-	case CentralSSC:
-		return subspace.SSC(theta, l, rng, opts.SSC)
-	case CentralTSC:
-		q := opts.TSCQ
-		if q <= 0 {
-			q = int(math.Ceil(float64(z) / float64(l)))
-			if q < 3 {
-				q = 3
-			}
-		}
-		return subspace.TSC(theta, l, rng, subspace.TSCOptions{Q: q})
-	default:
-		panic("core: unknown central method " + string(opts.Method))
-	}
+	return centralCluster(nil, nil, theta, z, l, opts, rng)
 }
 
 // addChannelNoise perturbs every sample column with iid Gaussian noise

@@ -80,19 +80,20 @@ func tred2(z *Dense, d, e []float64) {
 				e[i] = scale * g
 				h -= f * g
 				zi[l] = f - g
-				// e[j] ← (A v)_j / h over the lower triangle; rows are
-				// independent, so the block update is safe and exact.
+				// e[j] ← (A v)_j / h. The active block [0..l]² is kept
+				// fully mirrored (see the rank-two update below), so each
+				// row's dot product streams contiguously instead of
+				// finishing with a stride down column j — the strided
+				// half of the classical lower-triangle symv was the
+				// hottest cache-miss site in the whole decomposition.
 				lim := l + 1
 				Parallel(lim, lim*lim, func(lo, hi int) {
 					for j := lo; j < hi; j++ {
 						zj := z.Row(j)
 						zj[i] = zi[j] / h
 						g := 0.0
-						for k := 0; k <= j; k++ {
+						for k := 0; k <= l; k++ {
 							g += zj[k] * zi[k]
-						}
-						for k := j + 1; k <= l; k++ {
-							g += z.Row(k)[j] * zi[k]
 						}
 						e[j] = g / h
 					}
@@ -105,15 +106,22 @@ func tred2(z *Dense, d, e []float64) {
 				for j := 0; j <= l; j++ {
 					e[j] -= hh * zi[j]
 				}
-				// Rank-two update A ← A − v wᵀ − w vᵀ on the lower
-				// triangle, blocked over rows.
+				// Rank-two update A ← A − v wᵀ − w vᵀ over full rows
+				// of the active block, preserving its mirror symmetry
+				// exactly: entries (j,k) and (k,j) subtract the same two
+				// products combined by one IEEE addition, and both
+				// multiplication and addition commute bitwise, so the two
+				// sides stay bit-identical. Costs half an extra streaming
+				// pass versus the lower triangle alone, repaid by the symv
+				// above never leaving row order. Rows are disjoint across
+				// workers, so the block update is safe and exact.
 				Parallel(lim, lim*lim, func(lo, hi int) {
 					for j := lo; j < hi; j++ {
 						fj := zi[j]
 						gj := e[j]
 						zj := z.Row(j)
-						for k := 0; k <= j; k++ {
-							zj[k] = zj[k] - fj*e[k] - gj*zi[k]
+						for k := 0; k <= l; k++ {
+							zj[k] -= fj*e[k] + gj*zi[k]
 						}
 					}
 				})
@@ -183,9 +191,42 @@ func applyRots(z *Dense, rots []planeRot) {
 	Parallel(n, n*len(rots)*6, func(lo, hi int) {
 		// Successive rotations overlap (rotation i reads the element
 		// rotation i+1 just wrote), so a single row is one long dependency
-		// chain. Four rows march through the rotation sequence together to
-		// give the pipeline independent work at each step.
+		// chain. Eight rows march through the rotation sequence together
+		// (then four, then one, for the remainder) to give the pipeline
+		// independent work at each step; eight keeps every FMA port busy
+		// through the multiply-add latency without spilling registers.
 		k := lo
+		for ; k+7 < hi; k += 8 {
+			r0, r1, r2, r3 := z.Row(k), z.Row(k+1), z.Row(k+2), z.Row(k+3)
+			r4, r5, r6, r7 := z.Row(k+4), z.Row(k+5), z.Row(k+6), z.Row(k+7)
+			for _, r := range rots {
+				i, s, c := r.i, r.s, r.c
+				f0 := r0[i+1]
+				r0[i+1] = s*r0[i] + c*f0
+				r0[i] = c*r0[i] - s*f0
+				f1 := r1[i+1]
+				r1[i+1] = s*r1[i] + c*f1
+				r1[i] = c*r1[i] - s*f1
+				f2 := r2[i+1]
+				r2[i+1] = s*r2[i] + c*f2
+				r2[i] = c*r2[i] - s*f2
+				f3 := r3[i+1]
+				r3[i+1] = s*r3[i] + c*f3
+				r3[i] = c*r3[i] - s*f3
+				f4 := r4[i+1]
+				r4[i+1] = s*r4[i] + c*f4
+				r4[i] = c*r4[i] - s*f4
+				f5 := r5[i+1]
+				r5[i+1] = s*r5[i] + c*f5
+				r5[i] = c*r5[i] - s*f5
+				f6 := r6[i+1]
+				r6[i+1] = s*r6[i] + c*f6
+				r6[i] = c*r6[i] - s*f6
+				f7 := r7[i+1]
+				r7[i+1] = s*r7[i] + c*f7
+				r7[i] = c*r7[i] - s*f7
+			}
+		}
 		for ; k+3 < hi; k += 4 {
 			r0, r1, r2, r3 := z.Row(k), z.Row(k+1), z.Row(k+2), z.Row(k+3)
 			for _, r := range rots {

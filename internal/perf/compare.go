@@ -1,0 +1,76 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ReadReport loads a BENCH_<label>.json report written by WriteJSON.
+func ReadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, fmt.Errorf("perf: read report: %w", err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("perf: parse report %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Delta is one benchmark's comparison between a baseline report and a
+// fresh measurement.
+type Delta struct {
+	Name       string
+	PrevNs     float64
+	CurNs      float64
+	Ratio      float64 // CurNs / PrevNs; 1.0 = unchanged
+	PrevAllocs int64
+	CurAllocs  int64
+	Regressed  bool
+}
+
+// Compare matches baseline and current results by benchmark name and
+// flags every kernel whose ns/op grew beyond tolerance (0.15 = +15%).
+// Benchmarks present on only one side — a kernel added or retired since
+// the baseline — are skipped, so an old report never blocks a new
+// benchmark and vice versa. Deltas come back in current-suite order.
+func Compare(prev, cur []Result, tolerance float64) []Delta {
+	base := make(map[string]Result, len(prev))
+	for _, r := range prev {
+		base[r.Name] = r
+	}
+	deltas := make([]Delta, 0, len(cur))
+	for _, r := range cur {
+		p, ok := base[r.Name]
+		if !ok || p.NsPerOp <= 0 {
+			continue
+		}
+		d := Delta{
+			Name:       r.Name,
+			PrevNs:     p.NsPerOp,
+			CurNs:      r.NsPerOp,
+			Ratio:      r.NsPerOp / p.NsPerOp,
+			PrevAllocs: p.AllocsPerOp,
+			CurAllocs:  r.AllocsPerOp,
+		}
+		d.Regressed = d.Ratio > 1+tolerance
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// Regressions filters deltas down to the kernels that regressed,
+// worst ratio first.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out
+}

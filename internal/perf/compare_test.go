@@ -1,0 +1,70 @@
+package perf
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestCompareFlagsOnlyRegressionsBeyondTolerance(t *testing.T) {
+	prev := []Result{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 10},
+		{Name: "B", NsPerOp: 100},
+		{Name: "C", NsPerOp: 100},
+		{Name: "Retired", NsPerOp: 50},
+	}
+	cur := []Result{
+		{Name: "A", NsPerOp: 110, AllocsPerOp: 12}, // +10%: inside tolerance
+		{Name: "B", NsPerOp: 130},                  // +30%: regressed
+		{Name: "C", NsPerOp: 80},                   // faster
+		{Name: "Added", NsPerOp: 999},              // no baseline: skipped
+	}
+	deltas := Compare(prev, cur, 0.15)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3 (Added and Retired skipped)", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if byName["A"].Regressed || byName["C"].Regressed {
+		t.Fatalf("A or C flagged as regressed: %+v", deltas)
+	}
+	if !byName["B"].Regressed {
+		t.Fatalf("B (+30%%) not flagged at 15%% tolerance: %+v", byName["B"])
+	}
+	if got := byName["A"].CurAllocs; got != 12 {
+		t.Fatalf("A CurAllocs = %d, want 12", got)
+	}
+	reg := Regressions(deltas)
+	if len(reg) != 1 || reg[0].Name != "B" {
+		t.Fatalf("Regressions = %+v, want exactly B", reg)
+	}
+}
+
+func TestCompareSkipsZeroBaseline(t *testing.T) {
+	deltas := Compare(
+		[]Result{{Name: "A", NsPerOp: 0}},
+		[]Result{{Name: "A", NsPerOp: 100}}, 0.15)
+	if len(deltas) != 0 {
+		t.Fatalf("zero-ns baseline must be skipped, got %+v", deltas)
+	}
+}
+
+func TestReadReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	results := []Result{{Name: "SymEigen", NsPerOp: 12345, BytesPerOp: 64, AllocsPerOp: 2, Iterations: 100}}
+	if err := WriteJSON(path, "test", results); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	rep, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+	if rep.Label != "test" || len(rep.Results) != 1 || rep.Results[0] != results[0] {
+		t.Fatalf("round trip mismatch: %+v", rep)
+	}
+	if _, err := ReadReport(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("ReadReport on a missing file must error")
+	}
+}

@@ -62,6 +62,55 @@ func FedSCRound(b *testing.B) {
 	}
 }
 
+// centralHeavyDevices builds the round used by FedSCRoundCentralHeavy
+// and FedSCRoundSharded: many devices with little local data, so the
+// pooled count (256 samples) makes Phase 2 — whose spectral
+// segmentation is cubic in the pooled count — the round's dominant
+// cost. Ambient dimension 64 leaves room for the sketch to pay.
+func centralHeavyDevices() []*mat.Dense {
+	rng := rand.New(rand.NewSource(5))
+	s := synth.RandomSubspaces(64, 3, 8, rng)
+	devices := make([]*mat.Dense, 128)
+	for dev := range devices {
+		clusters := rng.Perm(8)[:2]
+		counts := make([]int, 8)
+		for _, c := range clusters {
+			counts[c] = 6
+		}
+		devices[dev] = s.SampleCounts(counts, rng).X
+	}
+	return devices
+}
+
+// benchCentralHeavy runs the central-heavy round with the given Phase 2
+// configuration; FedSCRoundCentralHeavy and FedSCRoundSharded differ
+// only in it, so their delta is exactly the sharded/sketched win.
+func benchCentralHeavy(b *testing.B, central core.CentralOptions) {
+	devices := centralHeavyDevices()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Run(devices, 8, core.Options{
+			Local:   core.LocalOptions{UseEigengap: true},
+			Central: central,
+			Obs:     obs.NewRegistry(),
+			Trace:   obs.NewTracer(nil),
+		}, rand.New(rand.NewSource(int64(i))))
+	}
+}
+
+// FedSCRoundCentralHeavy measures the exact single-pass Phase 2 on a
+// round whose pooled count dominates the cost.
+func FedSCRoundCentralHeavy(b *testing.B) {
+	benchCentralHeavy(b, core.CentralOptions{})
+}
+
+// FedSCRoundSharded measures the same round with Phase 2 dealt into 4
+// shards and the pooled matrix sketched from 64 to 32 rows — the
+// configuration the shard/sketch pipeline exists for.
+func FedSCRoundSharded(b *testing.B) {
+	benchCentralHeavy(b, core.CentralOptions{Shards: 4, SketchSize: 32})
+}
+
 // SymEigen measures the dense symmetric eigendecomposition used by
 // spectral clustering and the eigengap estimate.
 func SymEigen(b *testing.B) {
@@ -169,6 +218,8 @@ func Suite() []Named {
 		{"MulTA", MulTA},
 		{"LocalClusterAndSample", LocalClusterAndSample},
 		{"FedSCRound", FedSCRound},
+		{"FedSCRoundCentralHeavy", FedSCRoundCentralHeavy},
+		{"FedSCRoundSharded", FedSCRoundSharded},
 		{"FedSCRoundUnderLatency", FedSCRoundUnderLatency},
 	}
 }
