@@ -26,9 +26,12 @@ test:
 race:
 	$(GO) test -short -race ./...
 
-# Project-specific static analysis: determinism, error-handling, and
-# connection-deadline contracts (see DESIGN.md "Determinism contract").
-lint:
+# Project-specific static analysis: the determinism, error-handling,
+# and connection-deadline contracts plus the concurrency-lifecycle pack
+# (goroutine leaks, frozen snapshots, span pairing, metric hygiene —
+# see DESIGN.md §5). Runs go vet first so `make lint` alone reproduces
+# the full CI static gate.
+lint: vet
 	$(GO) run ./cmd/fedsc-lint
 
 # Fault-injection smoke: every named chaos schedule must complete a
@@ -56,7 +59,7 @@ bench-json:
 # machine that recorded the baseline, so ci.yml passes a looser 0.5 —
 # the gate there catches algorithmic blowups, not percent-level drift
 # (see DESIGN.md on cross-environment benchmark drift).
-BENCH_BASELINE ?= BENCH_pr7.json
+BENCH_BASELINE ?= BENCH_pr8.json
 BENCH_TOLERANCE ?= 0.15
 
 # Re-measure the tracked kernels and fail if any regressed beyond

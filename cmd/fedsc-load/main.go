@@ -456,7 +456,10 @@ func selfHost(maxQueue, maxBatch int) (string, func(), error) {
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: handler, ReadTimeout: 30 * time.Second, WriteTimeout: 30 * time.Second}
-	go func() { _ = srv.Serve(ln) }()
+	// The buffered handoff is the termination proof: srv.Close in stop()
+	// makes Serve return, and the send completes without a reader.
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
 	stop := func() {
 		_ = srv.Close()
 		batcher.Stop()

@@ -8,11 +8,18 @@
 // execution. The analyzers in this package encode those contracts as
 // machine-checked rules:
 //
-//	noglobalrand  all randomness flows through an injected *rand.Rand
-//	maporder      no order-dependent work inside map iteration
-//	floatcmp      no ==/!= between floating-point expressions
-//	errdrop       no silently dropped errors from Close/Encode/etc.
-//	ctxdeadline   conn I/O in fednet/serve is preceded by a deadline
+//	noglobalrand   all randomness flows through an injected *rand.Rand
+//	maporder       no order-dependent work inside map iteration
+//	floatcmp       no ==/!= between floating-point expressions
+//	errdrop        no silently dropped errors from Close/Encode/etc.
+//	ctxdeadline    conn I/O in fednet/serve is preceded by a deadline
+//	goroutineleak  goroutines in long-lived packages carry a provable
+//	               termination signal
+//	snapshotmut    values published via atomic.Pointer are frozen;
+//	               updates go through copy-on-write
+//	spanpair       obs spans are ended on every path (defer-aware)
+//	metrichygiene  metric registration only at init/constructor time,
+//	               label values from bounded sets
 //
 // A finding can be suppressed for one line by a trailing or preceding
 // comment of the form
@@ -158,5 +165,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoGlobalRand, MapOrder, FloatCmp, ErrDrop, CtxDeadline}
+	return []*Analyzer{
+		NoGlobalRand, MapOrder, FloatCmp, ErrDrop, CtxDeadline,
+		GoroutineLeak, SnapshotMut, SpanPair, MetricHygiene,
+	}
 }

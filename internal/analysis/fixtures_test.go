@@ -41,14 +41,7 @@ func sharedLoader(t *testing.T) *Loader {
 func TestFixtures(t *testing.T) {
 	for _, a := range All() {
 		t.Run(a.Name, func(t *testing.T) {
-			loader := sharedLoader(t)
-			dir := filepath.Join("testdata", "src", a.Name)
-			pkg, err := loader.LoadDir(dir, a.Name)
-			if err != nil {
-				t.Fatalf("load fixture: %v", err)
-			}
-			diags := Run([]*Package{pkg}, []*Analyzer{a})
-			got := renderRelative(t, diags)
+			got := fixtureOutput(t, a)
 			goldenPath := filepath.Join("testdata", a.Name+".golden")
 			if *update {
 				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
@@ -65,6 +58,18 @@ func TestFixtures(t *testing.T) {
 			}
 		})
 	}
+}
+
+// fixtureOutput runs one analyzer over its fixture package and renders
+// the diagnostics the way the golden files store them.
+func fixtureOutput(t *testing.T, a *Analyzer) string {
+	t.Helper()
+	loader := sharedLoader(t)
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", a.Name), a.Name)
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	return renderRelative(t, Run([]*Package{pkg}, []*Analyzer{a}))
 }
 
 // renderRelative formats diagnostics with paths relative to this

@@ -1,0 +1,327 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLeak enforces the goroutine-lifecycle contract of the
+// long-lived packages: a server that leaks one goroutine per round (or
+// per request) dies slowly under exactly the load the ROADMAP aims at,
+// and the race detector cannot see a leak — a blocked goroutine
+// touches no shared memory, so only a static rule catches the class.
+//
+// Every `go` statement in a scoped package must carry a provable
+// termination signal in the spawned body:
+//
+//   - a context cancellation check (a call to ctx.Done()),
+//   - a receive from a done/stop channel (any receive of a
+//     `chan struct{}`, the idiomatic broadcast-close type),
+//   - sync.WaitGroup pairing (the body calls wg.Done(), so some
+//     spawner is committed to waiting),
+//   - a result handoff the spawner owns: a send on — or close of — a
+//     channel created in the spawning function, where the channel is
+//     buffered or the spawning function itself receives from it.
+//
+// The check is wrapper-aware like ctxdeadline: `go b.worker()` and
+// `go handle(c)` resolve through the same-package method/function or
+// the local func-literal variable and inspect that body. A goroutine
+// whose callee is outside the package cannot be proven and is flagged;
+// intentional process-lifetime goroutines (a debug HTTP server) carry
+// a //fedsc:allow goroutineleak directive with the reason written down.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "require a provable termination signal on every goroutine in the long-lived packages",
+	Run:  runGoroutineLeak,
+}
+
+// leakPackages are the import-path suffixes the rule binds: the
+// long-lived subsystems plus every binary; "goroutineleak" admits the
+// fixture package.
+var leakPackages = []string{
+	"internal/fednet", "internal/serve", "internal/chaos",
+	"internal/obs", "internal/store", "goroutineleak",
+}
+
+func leakScoped(path string) bool {
+	if strings.Contains(path, "/cmd/") {
+		return true
+	}
+	for _, suffix := range leakPackages {
+		if strings.HasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runGoroutineLeak(pass *Pass) {
+	if !leakScoped(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkGoStmts(pass, fn.Body)
+		}
+	}
+}
+
+// spawnerInfo is what the spawning function contributes to the proof:
+// which channels it created (and their buffering) and which it drains.
+type spawnerInfo struct {
+	// buffered maps channel objects made in this function with a
+	// non-zero capacity expression.
+	buffered map[types.Object]bool
+	// local marks every channel object made in this function.
+	local map[types.Object]bool
+	// receives records the position of every receive (or range) from a
+	// channel object — goroutine-internal receives are filtered by the
+	// caller using the spawned body's position range.
+	receives map[types.Object][]token.Pos
+	// funcLits maps local variables to the function literal assigned to
+	// them, so `go handle(c)` resolves to handle's body.
+	funcLits map[types.Object]*ast.FuncLit
+}
+
+func collectSpawnerInfo(pass *Pass, body *ast.BlockStmt) *spawnerInfo {
+	info := &spawnerInfo{
+		buffered: map[types.Object]bool{},
+		local:    map[types.Object]bool{},
+		receives: map[types.Object][]token.Pos{},
+		funcLits: map[types.Object]*ast.FuncLit{},
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				obj := identObject(pass, n.Lhs[i])
+				if obj == nil {
+					continue
+				}
+				if lit, ok := rhs.(*ast.FuncLit); ok {
+					info.funcLits[obj] = lit
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok && isMakeChan(pass, call) {
+					info.local[obj] = true
+					if len(call.Args) >= 2 {
+						if v := pass.TypesInfo.Types[call.Args[1]].Value; v == nil || v.String() != "0" {
+							info.buffered[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj := identObject(pass, n.X); obj != nil {
+					info.receives[obj] = append(info.receives[obj], n.Pos())
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypesInfo.Types[n.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if obj := identObject(pass, n.X); obj != nil {
+						info.receives[obj] = append(info.receives[obj], n.Pos())
+					}
+				}
+			}
+		}
+		return true
+	})
+	return info
+}
+
+func isMakeChan(pass *Pass, call *ast.CallExpr) bool {
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "make" || pass.TypesInfo.Uses[fun] != types.Universe.Lookup("make") {
+		return false
+	}
+	t := pass.TypesInfo.Types[call].Type
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+func checkGoStmts(pass *Pass, body *ast.BlockStmt) {
+	info := collectSpawnerInfo(pass, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		spawned := resolveSpawnedBody(pass, info, g.Call)
+		if spawned == nil {
+			pass.Reportf(g.Pos(),
+				"goroutine runs a body this package cannot inspect; no termination signal is provable")
+			return true
+		}
+		if !hasTerminationSignal(pass, info, spawned) {
+			pass.Reportf(g.Pos(),
+				"goroutine has no provable termination signal (ctx.Done/done-channel receive, WaitGroup pairing, or a channel handoff the spawner drains)")
+		}
+		return true
+	})
+}
+
+// resolveSpawnedBody finds the body the `go` statement will run: a
+// function literal, a local variable holding one, or a same-package
+// function/method declaration.
+func resolveSpawnedBody(pass *Pass, info *spawnerInfo, call *ast.CallExpr) *ast.BlockStmt {
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[fun]; obj != nil {
+			if lit, ok := info.funcLits[obj]; ok {
+				return lit.Body
+			}
+			if f, ok := obj.(*types.Func); ok {
+				return funcDeclBody(pass, f)
+			}
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return funcDeclBody(pass, f)
+		}
+	}
+	return nil
+}
+
+// funcDeclBody locates the declaration of a same-package function or
+// method; cross-package callees return nil (not inspectable here).
+func funcDeclBody(pass *Pass, f *types.Func) *ast.BlockStmt {
+	if f.Pkg() != pass.Pkg {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pass.TypesInfo.Defs[fd.Name] == f {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// hasTerminationSignal reports whether the spawned body carries one of
+// the recognized liveness proofs.
+func hasTerminationSignal(pass *Pass, info *spawnerInfo, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				switch {
+				case isMethodOn(pass, sel, "WaitGroup", "sync"):
+					found = true // a spawner committed to wg.Wait
+				case isMethodOn(pass, sel, "Context", "context") || isContextValue(pass, sel.X):
+					found = true // cancellation is checked
+				}
+			}
+			// close(ch) on a spawner-drained channel: the drained-handoff
+			// pattern (`defer close(done)` … spawner `<-done`).
+			if fun, ok := n.Fun.(*ast.Ident); ok && fun.Name == "close" &&
+				pass.TypesInfo.Uses[fun] == types.Universe.Lookup("close") && len(n.Args) == 1 {
+				if spawnerOwnsHandoff(pass, info, n.Args[0], body) {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			// Receive from a `chan struct{}`: the broadcast-close
+			// done/stop idiom, in or out of a select.
+			if n.Op == token.ARROW && isDoneChanType(pass.TypesInfo.Types[n.X].Type) {
+				found = true
+			}
+		case *ast.SendStmt:
+			if spawnerOwnsHandoff(pass, info, n.Chan, body) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// spawnerOwnsHandoff reports whether ch is a channel the spawning
+// function created and either buffered or demonstrably drains outside
+// the spawned body.
+func spawnerOwnsHandoff(pass *Pass, info *spawnerInfo, ch ast.Expr, body *ast.BlockStmt) bool {
+	obj := identObject(pass, ch)
+	if obj == nil || !info.local[obj] {
+		return false
+	}
+	if info.buffered[obj] {
+		return true
+	}
+	for _, pos := range info.receives[obj] {
+		if pos < body.Pos() || pos > body.End() {
+			return true
+		}
+	}
+	return false
+}
+
+// isMethodOn reports whether sel resolves to a method on the named type
+// from the named package (pointer receivers included).
+func isMethodOn(pass *Pass, sel *ast.SelectorExpr, typeName, pkgPath string) bool {
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	t := selection.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isContextValue reports whether e is a context.Context (the Done()
+// receiver when the static type is the interface, not a named type).
+func isContextValue(pass *Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.Types[e].Type
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isDoneChanType reports whether t is a channel of struct{} — the
+// conventional type of broadcast-close done/stop channels.
+func isDoneChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	s, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && s.NumFields() == 0
+}

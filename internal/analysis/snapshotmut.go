@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SnapshotMut enforces the copy-on-write discipline around
+// atomic.Pointer publication (the `internal/serve` registry pattern
+// from PR 6): once a value has been published through
+// `atomic.Pointer.Store`, every reader may hold it concurrently with
+// no lock, so the value is frozen — readers and even the writer must
+// never mutate it in place. The sanctioned update path is the
+// swapLocked shape: load the current snapshot, build a *fresh* value
+// (copying maps/slices entry by entry), and Store the new one.
+//
+// The analyzer taints every value obtained from a
+// `sync/atomic.Pointer[T].Load()` call, propagates the taint through
+// local assignments, field/index selections, and range statements, and
+// flags:
+//
+//   - assignments through a tainted base (`set.def = m`,
+//     `set.byName[k] = v`, `snap.Refs[i] = r`, compound ops included),
+//   - `delete(tainted.m, k)`,
+//   - writes through a Load() result used directly
+//     (`r.set.Load().def = m`).
+//
+// Building a new composite literal and copying *from* the tainted
+// snapshot is the blessed pattern and passes untouched — the taint
+// never flags reads.
+var SnapshotMut = &Analyzer{
+	Name: "snapshotmut",
+	Doc:  "forbid in-place mutation of values published via atomic.Pointer",
+	Run:  runSnapshotMut,
+}
+
+func runSnapshotMut(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSnapshotMutation(pass, fn.Body)
+		}
+	}
+}
+
+// isAtomicLoad reports whether call is `p.Load()` on a
+// sync/atomic.Pointer[T].
+func isAtomicLoad(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	t := selection.Recv()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	// Generic instantiations share the origin's object.
+	obj := named.Origin().Obj()
+	return obj.Name() == "Pointer" && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// rootIdent walks to the base identifier of a selector/index chain:
+// `set.byName[k]` → set. Returns nil when the base is not a plain
+// identifier (e.g. a call result — handled separately).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// baseLoadCall reports whether the base of a selector/index chain is a
+// direct atomic Load() call (`p.Load().f = v`).
+func baseLoadCall(pass *Pass, e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			return isAtomicLoad(pass, x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// checkSnapshotMutation runs the taint walk over one function body.
+// Statements are visited in source order, which is sufficient for the
+// straight-line load-then-mutate shapes the rule exists to catch.
+func checkSnapshotMutation(pass *Pass, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+	exprTainted := func(e ast.Expr) bool {
+		if call, ok := e.(*ast.CallExpr); ok && isAtomicLoad(pass, call) {
+			return true
+		}
+		if baseLoadCall(pass, e) {
+			return true
+		}
+		if id := rootIdent(e); id != nil {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
+				return true
+			}
+		}
+		return false
+	}
+	taintLhs := func(lhs ast.Expr) {
+		if obj := identObject(pass, lhs); obj != nil {
+			tainted[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// Mutations first: any write whose destination is a
+			// field/element reachable from a tainted base.
+			for _, lhs := range n.Lhs {
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					if exprTainted(lhs) {
+						pass.Reportf(n.Pos(),
+							"write through a published snapshot (obtained from atomic.Pointer.Load); build a fresh copy and Store it instead")
+					}
+				}
+			}
+			// Then propagation: lhs := rhs where rhs derives from a
+			// tainted value.
+			if n.Tok == token.DEFINE || n.Tok == token.ASSIGN {
+				for i, rhs := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if exprTainted(rhs) {
+						taintLhs(n.Lhs[i])
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// Ranging over a tainted map/slice taints the value (and
+			// key, for maps of pointers) bindings.
+			if exprTainted(n.X) {
+				if n.Key != nil {
+					taintLhs(n.Key)
+				}
+				if n.Value != nil {
+					taintLhs(n.Value)
+				}
+			}
+		case *ast.CallExpr:
+			if fun, ok := n.Fun.(*ast.Ident); ok && fun.Name == "delete" &&
+				pass.TypesInfo.Uses[fun] == types.Universe.Lookup("delete") &&
+				len(n.Args) == 2 && exprTainted(n.Args[0]) {
+				pass.Reportf(n.Pos(),
+					"delete from a map inside a published snapshot (obtained from atomic.Pointer.Load); copy-on-write instead")
+			}
+		}
+		return true
+	})
+}

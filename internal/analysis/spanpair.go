@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// SpanPair enforces the obs span lifecycle: every span a function
+// starts must be ended on every path out of the function, or the
+// canonical JSONL trace records a zero end time and downstream tooling
+// sees a truncated trace. Span.End is idempotent (first call wins), so
+// the robust idiom — `defer sp.End()` right after Start, with an
+// optional earlier explicit End to pin the measured window — is always
+// safe and always passes.
+//
+// The analyzer tracks each `sp := x.Start(...)` binding whose static
+// type is *obs.Span and applies, in order:
+//
+//   - ownership transfer: if the span is returned, passed as a call
+//     argument, stored into a field/composite/channel, or aliased to
+//     another variable, responsibility moves with it and the binding
+//     is exempt;
+//   - defer coverage: any `defer sp.End()` covers all paths, panics
+//     included — pass;
+//   - otherwise, position analysis: a binding with no End at all is
+//     flagged at the Start, and every `return` after the Start that is
+//     not preceded by an End is flagged at the return (the early-abort
+//     leak shape).
+//
+// A Start whose result is discarded as a bare expression statement can
+// never be ended and is always flagged.
+var SpanPair = &Analyzer{
+	Name: "spanpair",
+	Doc:  "require obs spans to be ended on all paths (defer-aware)",
+	Run:  runSpanPair,
+}
+
+func runSpanPair(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpanPairs(pass, fn.Body)
+		}
+	}
+}
+
+// isSpanType reports whether t is *obs.Span (matched by package-path
+// suffix so the fixture package, which imports the real obs package,
+// is covered identically).
+func isSpanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Span" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+}
+
+// spanBinding is one `sp := x.Start(...)` occurrence.
+type spanBinding struct {
+	obj      types.Object
+	startPos token.Pos
+}
+
+func checkSpanPairs(pass *Pass, body *ast.BlockStmt) {
+	var bindings []spanBinding
+	ends := map[types.Object][]token.Pos{} // explicit End positions
+	deferred := map[types.Object]bool{}    // any `defer sp.End()`
+	escaped := map[types.Object]bool{}
+	var returns []token.Pos
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				call, ok := rhs.(*ast.CallExpr)
+				if ok && isStartCall(pass, call) {
+					if obj := identObject(pass, n.Lhs[i]); obj != nil {
+						bindings = append(bindings, spanBinding{obj: obj, startPos: n.Pos()})
+					}
+					continue
+				}
+				// Aliasing a span to another variable transfers
+				// ownership out of this analysis; assigning to the blank
+				// identifier discards nothing and transfers nothing.
+				if lhs, isBlank := n.Lhs[i].(*ast.Ident); isBlank && lhs.Name == "_" {
+					continue
+				}
+				if id, isIdent := rhs.(*ast.Ident); isIdent {
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && isSpanType(obj.Type()) {
+						escaped[obj] = true
+					}
+				}
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isStartCall(pass, call) {
+				pass.Reportf(n.Pos(), "span started and discarded; it can never be ended")
+			}
+		case *ast.DeferStmt:
+			if obj := endCallReceiver(pass, n.Call); obj != nil {
+				deferred[obj] = true
+			}
+			markSpanArgsEscaped(pass, n.Call, escaped)
+		case *ast.GoStmt:
+			markSpanArgsEscaped(pass, n.Call, escaped)
+		case *ast.CallExpr:
+			if obj := endCallReceiver(pass, n); obj != nil {
+				ends[obj] = append(ends[obj], n.Pos())
+			}
+			markSpanArgsEscaped(pass, n, escaped)
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+			for _, res := range n.Results {
+				markSpanExpr(pass, res, escaped)
+			}
+		case *ast.SendStmt:
+			markSpanExpr(pass, n.Value, escaped)
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				markSpanExpr(pass, elt, escaped)
+			}
+		}
+		return true
+	})
+
+	for _, b := range bindings {
+		if escaped[b.obj] || deferred[b.obj] {
+			continue
+		}
+		endPositions := ends[b.obj]
+		if len(endPositions) == 0 {
+			pass.Reportf(b.startPos,
+				"span %s is started but never ended in this function; add `defer %s.End()`", b.obj.Name(), b.obj.Name())
+			continue
+		}
+		for _, ret := range returns {
+			if ret <= b.startPos {
+				continue
+			}
+			if !endBefore(endPositions, b.startPos, ret) {
+				pass.Reportf(ret,
+					"return without ending span %s (started earlier in this function); add `defer %s.End()` after Start", b.obj.Name(), b.obj.Name())
+			}
+		}
+	}
+}
+
+// endBefore reports whether any End position lies in (start, ret).
+func endBefore(ends []token.Pos, start, ret token.Pos) bool {
+	for _, pos := range ends {
+		if pos > start && pos < ret {
+			return true
+		}
+	}
+	return false
+}
+
+// isStartCall reports whether call is a Start method invocation
+// returning *obs.Span (Tracer.Start and Span.Start both qualify).
+func isStartCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Start" {
+		return false
+	}
+	return isSpanType(pass.TypesInfo.Types[call].Type)
+}
+
+// endCallReceiver returns the span object when call is `sp.End()` on a
+// plain identifier receiver, nil otherwise.
+func endCallReceiver(pass *Pass, call *ast.CallExpr) types.Object {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return nil
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil || !isSpanType(obj.Type()) {
+		return nil
+	}
+	return obj
+}
+
+// markSpanArgsEscaped marks span-typed values appearing in call
+// arguments (not the receiver) as ownership-transferred.
+func markSpanArgsEscaped(pass *Pass, call *ast.CallExpr, escaped map[types.Object]bool) {
+	for _, arg := range call.Args {
+		markSpanExpr(pass, arg, escaped)
+	}
+}
+
+// markSpanExpr marks every span-typed identifier inside e as escaped —
+// func literals included, so a span captured by a closure handed to a
+// parallel runner is exempt (position analysis cannot order concurrent
+// Ends).
+func markSpanExpr(pass *Pass, e ast.Expr, escaped map[types.Object]bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && isSpanType(obj.Type()) {
+				escaped[obj] = true
+			}
+		}
+		return true
+	})
+}

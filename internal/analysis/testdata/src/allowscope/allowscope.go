@@ -1,0 +1,38 @@
+// Package allowscope pins the granularity of //fedsc:allow for the
+// goroutineleak analyzer: the directive covers its own line and the
+// next, so it must sit on (or immediately above) the `go` statement —
+// a directive on the enclosing function declaration does not reach a
+// goroutine spawned further down.
+package allowscope
+
+func work() {}
+
+// OnGoStatement: the directive rides the flagged statement and
+// suppresses the finding.
+func OnGoStatement() {
+	go func() { //fedsc:allow goroutineleak scoped to this statement
+		for {
+			work()
+		}
+	}()
+}
+
+// DirectiveAbove: the directive on the line above the `go` statement
+// also suppresses (the standalone-comment style).
+func DirectiveAbove() {
+	//fedsc:allow goroutineleak standalone-comment style
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+//fedsc:allow goroutineleak too far from the go statement to count
+func OnEnclosingFunc() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

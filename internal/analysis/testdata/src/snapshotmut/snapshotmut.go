@@ -1,0 +1,105 @@
+// Package snapshotmut is the fixture for the snapshotmut analyzer:
+// positive cases mutate a value obtained from atomic.Pointer.Load —
+// in-place writes racing every lock-free reader — and negative cases
+// follow the copy-on-write discipline of the serve registry
+// (build a fresh value, Store it, never touch the published one).
+package snapshotmut
+
+import "sync/atomic"
+
+type model struct {
+	name string
+	refs []int
+}
+
+type set struct {
+	def    string
+	byName map[string]*model
+}
+
+// registry mirrors internal/serve: the current snapshot is published
+// through an atomic.Pointer and read without locks.
+type registry struct {
+	set atomic.Pointer[set]
+}
+
+// BadSetField writes a field of the published snapshot.
+func (r *registry) BadSetField(name string) {
+	s := r.set.Load()
+	s.def = name
+}
+
+// BadMapInsert grows a map inside the published snapshot — a data race
+// with every concurrent reader, and invisible to them besides.
+func (r *registry) BadMapInsert(m *model) {
+	s := r.set.Load()
+	s.byName[m.name] = m
+}
+
+// BadDelete shrinks the published map in place.
+func (r *registry) BadDelete(name string) {
+	s := r.set.Load()
+	delete(s.byName, name)
+}
+
+// BadDirect writes through the Load result without a binding.
+func (r *registry) BadDirect(name string) {
+	r.set.Load().def = name
+}
+
+// BadThroughAlias launders the snapshot through a second variable; the
+// taint follows the alias.
+func (r *registry) BadThroughAlias(name string) {
+	s := r.set.Load()
+	t := s
+	t.def = name
+}
+
+// BadElementWrite mutates a slice hanging off an entry fetched from
+// the published map.
+func (r *registry) BadElementWrite(name string) {
+	s := r.set.Load()
+	m := s.byName[name]
+	m.refs[0] = 1
+}
+
+// BadRangeMutation mutates entries while ranging over the published
+// map — the range bindings inherit the taint.
+func (r *registry) BadRangeMutation(name string) {
+	s := r.set.Load()
+	for _, m := range s.byName {
+		m.name = name
+	}
+}
+
+// GoodCopyOnWrite is the sanctioned swap: copy entry pointers into a
+// fresh set, modify only the fresh one, publish it.
+func (r *registry) GoodCopyOnWrite(m *model) {
+	old := r.set.Load()
+	next := &set{def: old.def, byName: map[string]*model{}}
+	for k, v := range old.byName {
+		next.byName[k] = v
+	}
+	next.byName[m.name] = m
+	r.set.Store(next)
+}
+
+// GoodRead reads through the snapshot without mutating it.
+func (r *registry) GoodRead(name string) *model {
+	return r.set.Load().byName[name]
+}
+
+// GoodFreshBeforePublish mutates a value that has never been
+// published; the freeze starts at Store.
+func (r *registry) GoodFreshBeforePublish() {
+	next := &set{def: "seed", byName: map[string]*model{}}
+	next.def = "amended"
+	r.set.Store(next)
+}
+
+// AllowedMigration documents the escape hatch for a single-writer
+// startup phase, reason recorded.
+func (r *registry) AllowedMigration(name string) {
+	s := r.set.Load()
+	s.def = name //fedsc:allow snapshotmut fixture: single-writer startup, no reader exists yet
+}

@@ -1,0 +1,115 @@
+// Package spanpair is the fixture for the spanpair analyzer: positive
+// cases start obs spans that some path out of the function never ends
+// (truncating the canonical JSONL trace); negative cases end on every
+// path — `defer sp.End()` is always sufficient because End is
+// idempotent — or transfer ownership of the span elsewhere.
+// BadEarlyReturn reproduces the live bug this rule caught on
+// fednet.Server.Serve's abort paths.
+package spanpair
+
+import (
+	"errors"
+
+	"fedsc/internal/obs"
+)
+
+func work() {}
+
+// BadNeverEnded starts a span and forgets it entirely.
+func BadNeverEnded(tr *obs.Tracer) {
+	sp := tr.Start("phase")
+	sp.SetAttr("kind", "forgotten")
+	work()
+}
+
+// BadEarlyReturn is the Server.Serve abort shape: the error path
+// returns between Start and the explicit End.
+func BadEarlyReturn(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("collect")
+	if fail {
+		return errors.New("abort before End")
+	}
+	work()
+	sp.End()
+	return nil
+}
+
+// BadDiscarded starts a span nothing can ever end.
+func BadDiscarded(tr *obs.Tracer) {
+	tr.Start("orphan")
+	work()
+}
+
+// GoodDefer covers every path, panics included.
+func GoodDefer(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("collect")
+	defer sp.End()
+	if fail {
+		return errors.New("abort, but the defer still ends the span")
+	}
+	work()
+	return nil
+}
+
+// GoodDeferWithExplicit pins the measured window with an explicit End
+// and keeps the defer as the abort-path safety net (End is idempotent,
+// first call wins) — the fixed Server.Serve shape.
+func GoodDeferWithExplicit(tr *obs.Tracer, fail bool) error {
+	sp := tr.Start("central")
+	defer sp.End()
+	if fail {
+		return errors.New("abort")
+	}
+	work()
+	sp.End()
+	work() // excluded from the span's window
+	return nil
+}
+
+// GoodStraightLine ends before the only return.
+func GoodStraightLine(tr *obs.Tracer) {
+	sp := tr.Start("phase")
+	work()
+	sp.End()
+}
+
+// GoodChildSpans nests spans and ends both.
+func GoodChildSpans(tr *obs.Tracer) {
+	parent := tr.Start("round")
+	defer parent.End()
+	child := parent.Start("upload")
+	work()
+	child.End()
+}
+
+// GoodOwnershipTransfer hands the span to a helper; responsibility for
+// End moves with it.
+func GoodOwnershipTransfer(tr *obs.Tracer) {
+	sp := tr.Start("round")
+	finish(sp)
+}
+
+func finish(sp *obs.Span) {
+	sp.End()
+}
+
+// GoodReturned hands the started span to the caller.
+func GoodReturned(tr *obs.Tracer) *obs.Span {
+	return tr.Start("caller-owned")
+}
+
+// GoodClosureCapture hands the span to a closure passed onward —
+// position analysis cannot order concurrent Ends, so capture is an
+// ownership transfer.
+func GoodClosureCapture(tr *obs.Tracer, run func(func())) {
+	sp := tr.Start("parallel")
+	run(func() {
+		sp.End()
+	})
+}
+
+// AllowedSentinel documents the escape hatch with the reason recorded.
+func AllowedSentinel(tr *obs.Tracer) {
+	sp := tr.Start("deliberately-open") //fedsc:allow spanpair fixture: zero-width sentinel span, exporter treats it as such
+	sp.SetAttr("kind", "sentinel")
+}

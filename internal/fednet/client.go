@@ -192,18 +192,27 @@ func RunClientDialer(dial func() (net.Conn, error), deviceID int, x *mat.Dense, 
 		Cols:     cols,
 		Data:     lr.Samples.Data(),
 	}
+	// Instruments are registered once, outside the retry loop: the
+	// registry lookup takes a mutex, and the hot path of a retry storm
+	// must not serialize on it per attempt (metrichygiene).
 	reg := obs.Default()
+	retriesC := reg.Counter("fedsc_fednet_client_retries_total", "Client exchange attempts beyond the first.")
+	attemptsC := reg.Counter("fedsc_fednet_client_attempts_total", "Client connection attempts, including retries.")
+	dialErrsC := reg.Counter("fedsc_fednet_client_dial_errors_total", "Client dial attempts that failed before the exchange.")
+	rejectionsC := reg.Counter("fedsc_fednet_client_rejections_total", "Uploads the server answered with a rejection.")
+	exchangeErrsC := reg.Counter("fedsc_fednet_client_exchange_errors_total", "Exchanges that died mid-wire (reset, timeout, decode failure).")
+	roundsC := reg.Counter("fedsc_fednet_client_rounds_total", "Client round participations that completed Phase 3.")
 	var lastErr error
 	for attempt := 1; attempt <= policy.attempts(); attempt++ {
 		if attempt > 1 {
-			reg.Counter("fedsc_fednet_client_retries_total", "Client exchange attempts beyond the first.").Inc()
+			retriesC.Inc()
 			time.Sleep(policy.Backoff(attempt-1, rng))
 		}
-		reg.Counter("fedsc_fednet_client_attempts_total", "Client connection attempts, including retries.").Inc()
+		attemptsC.Inc()
 		upload.Attempt = attempt
 		conn, err := dial()
 		if err != nil {
-			reg.Counter("fedsc_fednet_client_dial_errors_total", "Client dial attempts that failed before the exchange.").Inc()
+			dialErrsC.Inc()
 			lastErr = fmt.Errorf("fednet: device %d dial: %w", deviceID, err)
 			continue
 		}
@@ -214,17 +223,17 @@ func RunClientDialer(dial func() (net.Conn, error), deviceID int, x *mat.Dense, 
 			if errors.As(err, &rejected) {
 				// The server saw the upload and said no; the identical
 				// payload cannot fare better on a retry.
-				reg.Counter("fedsc_fednet_client_rejections_total", "Uploads the server answered with a rejection.").Inc()
+				rejectionsC.Inc()
 				break
 			}
-			reg.Counter("fedsc_fednet_client_exchange_errors_total", "Exchanges that died mid-wire (reset, timeout, decode failure).").Inc()
+			exchangeErrsC.Inc()
 			continue
 		}
 		if len(reply.Assignments) != cols {
 			return ClientResult{}, fmt.Errorf("fednet: device %d got %d assignments for %d samples",
 				deviceID, len(reply.Assignments), cols)
 		}
-		reg.Counter("fedsc_fednet_client_rounds_total", "Client round participations that completed Phase 3.").Inc()
+		roundsC.Inc()
 		res := applyPhase3(x, local, lr, reply.Assignments)
 		res.Attempts = attempt
 		return res, nil
@@ -297,13 +306,24 @@ func RunClientDuplicate(dial func() (net.Conn, error), deviceID int, x *mat.Dens
 		_ = connA.Close() // the exchange failed; nothing acts on the close error
 		return ClientResult{}, fmt.Errorf("fednet: device %d upload: %w", deviceID, err)
 	}
+	drained := make(chan struct{})
 	go func() {
 		// Drain the rejection the server will send here at round end;
 		// its content is already known ("superseded") and irrelevant.
+		defer close(drained)
 		_ = connA.SetReadDeadline(policy.replyDeadline())
 		var rejected AssignmentReply
 		_ = gob.NewDecoder(connA).Decode(&rejected)
 		_ = connA.Close()
+	}()
+	defer func() {
+		// Termination proof for the drain: closing connA unblocks the
+		// decode even under an unbounded reply deadline (the server's
+		// write, if it lost the race, fails onto a conn already marked
+		// superseded), and the receive joins the goroutine before the
+		// function returns on any path.
+		_ = connA.Close()
+		<-drained
 	}()
 
 	second := upload

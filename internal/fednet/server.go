@@ -128,14 +128,33 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 	root := s.Trace.Start("fednet.round", obs.Int("expect", s.Expect), obs.Int("L", s.L))
 	defer root.End()
 	collect := root.Start("collect")
+	// End is idempotent (first call wins): the explicit End below pins
+	// the measured window, the defer covers the abort returns so the
+	// canonical trace is never truncated.
+	defer collect.End()
 
 	// Accept in a separate goroutine so the straggler timeout can cut the
 	// wait short; once the round proceeds, late connections are refused.
 	accepted := make(chan net.Conn)
 	acceptErrCh := make(chan error, 1)
 	doneCh := make(chan struct{})
-	defer close(doneCh)
+	acceptorDone := make(chan struct{})
+	defer func() {
+		close(doneCh)
+		// The contract leaves ln open for the caller, so the acceptor may
+		// still be blocked inside ln.Accept with no connection coming.
+		// Listeners with deadline support (TCP included) get poked awake
+		// so the goroutine provably exits with the round; the deadline is
+		// then cleared to hand the listener back unbounded.
+		if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+			if d.SetDeadline(time.Now()) == nil {
+				<-acceptorDone
+			}
+			_ = d.SetDeadline(time.Time{})
+		}
+	}()
 	go func() {
+		defer close(acceptorDone)
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
@@ -357,6 +376,9 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 	var labels []int
 	var exported *core.Model
 	phase2 := root.Start("central", obs.Int("devices", len(parts)), obs.Int("samples", total))
+	// Covers the export-failure abort; the explicit End below pins the
+	// phase boundary on the success path (End is idempotent).
+	defer phase2.End()
 	if total > 0 {
 		theta := mat.HStack(parts...)
 		rng := rand.New(rand.NewSource(s.Seed))

@@ -54,10 +54,18 @@ func ServeDebug(addr string, reg *Registry, errCh chan<- error, extra ...DebugEn
 		return nil, err
 	}
 	srv := &http.Server{Handler: NewDebugHandler(reg, extra...)}
-	go func() {
+	// Process-lifetime by contract: the debug listener serves until the
+	// binary exits and has no shutdown signal to select on. The serve
+	// error is delivered best-effort — a non-blocking send — so a caller
+	// that passed an unbuffered channel and stopped reading can never
+	// wedge this goroutine on the handoff.
+	go func() { //fedsc:allow goroutineleak debug server is process-lifetime by contract; see above
 		err := srv.Serve(ln)
 		if errCh != nil {
-			errCh <- err
+			select {
+			case errCh <- err:
+			default:
+			}
 		}
 	}()
 	return ln.Addr(), nil

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestStopReleasesWorkerGoroutines pins the batcher's goroutine
+// lifecycle end to end: NewBatcher spawns exactly Workers goroutines,
+// and Stop joins every one of them — none may outlive the batcher,
+// even with requests in flight when Stop lands. The PR 8 audit of the
+// shutdown path (stopped-flag under the write lock before stopOnce,
+// admitted sends bounded by MaxQueue, final drain answering
+// ErrStopped) found it sound; this test keeps it that way, counting
+// goroutines directly because a leaked-but-blocked worker is invisible
+// to the race detector.
+func TestStopReleasesWorkerGoroutines(t *testing.T) {
+	reg, devices, _ := newTestRegistry(t, 31)
+	base := runtime.NumGoroutine()
+
+	const workers = 4
+	b := NewBatcher(reg, NewMetrics(), BatcherOptions{MaxBatch: 4, MaxWait: time.Millisecond, Workers: workers})
+	if n := runtime.NumGoroutine(); n < base+workers {
+		t.Fatalf("expected %d worker goroutines to start, have %d over baseline", workers, n-base)
+	}
+
+	// Keep the workers busy so Stop races live traffic, not an idle pool.
+	vec := devices[0].Col(0, nil)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 8; i++ {
+			if _, _, err := b.Assign(context.Background(), [][]float64{vec}); err != nil && !errors.Is(err, ErrStopped) {
+				t.Errorf("Assign: %v", err)
+				return
+			}
+		}
+	}()
+	b.Stop()
+	<-done
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("worker goroutines survived Stop: base %d, now %d\n%s",
+				base, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
