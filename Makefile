@@ -4,9 +4,9 @@ GO ?= go
 # Label naming the machine-readable benchmark report (BENCH_<label>.json).
 BENCH_LABEL ?= local
 
-.PHONY: check fmt vet build test race lint chaos load bench bench-json bench-gate
+.PHONY: check fmt vet build test race lint chaos load fleet bench bench-json bench-gate
 
-check: fmt vet lint build race chaos load
+check: fmt vet lint build race chaos load fleet
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -44,6 +44,13 @@ chaos:
 # assigns; an oversized burst is shed with 429, never a timeout).
 load:
 	$(GO) run ./cmd/fedsc-load -self -ramp 1,4 -stage 500ms
+
+# Continuous-federation smoke: replay the churn scenario (absorb wave,
+# two splice waves, forced rollback, re-churn) and fail if the final
+# fleet accuracy trails the all-devices one-shot baseline by more than
+# 5 points or the rollback misses the exact prior artifact digest.
+fleet:
+	$(GO) run ./cmd/fedsc-fleet -check
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -97,6 +97,11 @@ func BenchmarkFedSCRoundSharded(b *testing.B) { perf.FedSCRoundSharded(b) }
 // over the chaos transport with 2ms±1ms scripted latency per link.
 func BenchmarkFedSCRoundUnderLatency(b *testing.B) { perf.FedSCRoundUnderLatency(b) }
 
+// BenchmarkFedSCIncrementalRound measures the continuous-federation
+// steady state: a fleet Join wave whose clusters all absorb into the
+// served model (no delta sub-solve, no store write).
+func BenchmarkFedSCIncrementalRound(b *testing.B) { perf.FedSCIncrementalRound(b) }
+
 // BenchmarkSSCAffinity measures the Lasso self-expression sweep that
 // dominates both local and centralized SSC.
 func BenchmarkSSCAffinity(b *testing.B) {

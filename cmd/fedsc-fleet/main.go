@@ -1,0 +1,209 @@
+// Command fedsc-fleet replays a continuous-federation churn scenario
+// against the internal/fleet round controller: an initial one-shot
+// round over founding devices that see only a subset of the world's
+// subspaces, then incremental waves of late-joining devices — one
+// absorb-only wave (familiar subspaces fold into the served model
+// without publishing), two splice waves (novel subspaces pool into
+// delta sub-solves and grow the model), one forced rollback through
+// the store manifest, and a re-churn proving version numbers stay
+// monotonic. Every published version lands in a content-addressed
+// store under immutable "<tag>@vN" manifest tags.
+//
+// Usage:
+//
+//	fedsc-fleet [-n N] [-per N] [-seed N] [-dir PATH] [-check]
+//
+// -check exits non-zero when the final fleet accuracy trails the
+// all-devices one-shot baseline by more than 5 points, or when the
+// rollback fails to restore the exact prior artifact digest — the
+// acceptance gates of the continuous-federation subsystem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fedsc/internal/core"
+	"fedsc/internal/fleet"
+	"fedsc/internal/mat"
+	"fedsc/internal/metrics"
+	"fedsc/internal/store"
+	"fedsc/internal/synth"
+)
+
+// worldL is the scenario's total subspace count: founding devices see
+// the first founderL, the two splice waves introduce the rest.
+const (
+	worldL   = 5
+	founderL = 3
+	subDim   = 3
+)
+
+func main() {
+	n := flag.Int("n", 30, "ambient dimension of the synthetic subspaces")
+	per := flag.Int("per", 15, "points per subspace per device")
+	seed := flag.Int64("seed", 7, "master seed for data and controller")
+	dir := flag.String("dir", "", "model store directory (default: a fresh temp dir)")
+	check := flag.Bool("check", false, "exit non-zero when an acceptance gate fails")
+	flag.Parse()
+
+	if err := run(*n, *per, *seed, *dir, *check); err != nil {
+		fmt.Fprintf(os.Stderr, "fedsc-fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// world accumulates every device the scenario has introduced, with
+// ground-truth labels for the final accuracy measure.
+type world struct {
+	s     synth.Subspaces
+	rng   *rand.Rand
+	n     int
+	per   int
+	x     []*mat.Dense
+	truth [][]int
+}
+
+// wave adds one wave of devices, each drawing points from the listed
+// subspaces.
+func (w *world) wave(deviceSubs ...[]int) []*mat.Dense {
+	var devices []*mat.Dense
+	for _, subs := range deviceSubs {
+		counts := make([]int, worldL)
+		for _, c := range subs {
+			counts[c] = w.per
+		}
+		ds := w.s.SampleCounts(counts, w.rng)
+		w.x = append(w.x, ds.X)
+		w.truth = append(w.truth, ds.Labels)
+		devices = append(devices, ds.X)
+	}
+	return devices
+}
+
+func run(n, per int, seed int64, dir string, check bool) error {
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "fedsc-fleet-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	w := &world{s: synth.RandomSubspaces(n, subDim, worldL, rng), rng: rng, n: n, per: per}
+	local := core.LocalOptions{UseEigengap: true, SamplesPerCluster: 3}
+
+	ctl, err := fleet.New(fleet.Config{L: founderL, Local: local, Seed: seed, Store: st})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-22s %8s %12s %9s %9s %8s  %s\n",
+		"round", "devices", "version", "clusters", "absorbed", "spliced", "digest")
+	row := func(name string, devices int, v fleet.Version, absorbed, spliced int) {
+		fmt.Printf("%-22s %8d %12s %9d %9d %8d  %s\n",
+			name, devices, v.Tag, v.Clusters, absorbed, spliced, v.Digest[:12])
+	}
+
+	// Round 0: the founding cohort sees only the first founderL subspaces.
+	founding := w.wave([]int{0, 1}, []int{1, 2}, []int{0, 2}, []int{0, 1}, []int{1, 2}, []int{0, 2})
+	if _, v, err := ctl.Initial(founding); err != nil {
+		return err
+	} else {
+		row("initial", len(founding), v, 0, 0)
+	}
+
+	// Wave 1: familiar subspaces only — everything absorbs, no publish.
+	if res, err := ctl.Join(w.wave([]int{0, 1}, []int{2})); err != nil {
+		return err
+	} else {
+		row("join (absorb)", 2, res.Version, res.Absorbed, res.Spliced)
+	}
+
+	// Waves 2 and 3: novel subspaces appear and splice new clusters in.
+	if res, err := ctl.Join(w.wave([]int{0, 3}, []int{3})); err != nil {
+		return err
+	} else {
+		row("join (splice)", 2, res.Version, res.Absorbed, res.Spliced)
+	}
+	res3, err := ctl.Join(w.wave([]int{4, 1}, []int{4}))
+	if err != nil {
+		return err
+	}
+	row("join (splice)", 2, res3.Version, res3.Absorbed, res3.Spliced)
+	preRollback := ctl.History()
+
+	// Forced rollback: the manifest retags the alias to the previous
+	// version and the controller reloads that exact artifact.
+	back, err := ctl.Rollback()
+	if err != nil {
+		return err
+	}
+	row("rollback", 0, back, 0, 0)
+	wantDigest := preRollback[len(preRollback)-2].Digest
+	rollbackExact := back.Digest == wantDigest && store.Digest(ctl.Model()) == wantDigest
+	if !rollbackExact {
+		fmt.Fprintf(os.Stderr, "fedsc-fleet: rollback landed on %s, want exact prior %s\n",
+			back.Digest, wantDigest)
+	}
+
+	// Re-churn the rolled-back wave: version numbers never rewind.
+	res4, err := ctl.Join(w.wave([]int{4}, []int{4, 0}))
+	if err != nil {
+		return err
+	}
+	row("join (re-churn)", 2, res4.Version, res4.Absorbed, res4.Spliced)
+
+	// Accuracy gates: the continuous fleet vs the one-shot run that had
+	// every device from the start.
+	var truth []int
+	for _, labels := range w.truth {
+		truth = append(truth, labels...)
+	}
+	base := core.Run(w.x, worldL, core.Options{Local: local}, rand.New(rand.NewSource(seed)))
+	var baseLabels []int
+	for _, labels := range base.Labels {
+		baseLabels = append(baseLabels, labels...)
+	}
+	baseAcc := metrics.Accuracy(truth, baseLabels)
+
+	var pred []int
+	for _, x := range w.x {
+		labels, _, err := ctl.Assign(x)
+		if err != nil {
+			return err
+		}
+		pred = append(pred, labels...)
+	}
+	fleetAcc := metrics.Accuracy(truth, pred)
+
+	fmt.Printf("\naccuracy: one-shot baseline %.2f%%, continuous fleet %.2f%% (gate: within 5 points)\n",
+		baseAcc, fleetAcc)
+	fmt.Printf("rollback: exact prior digest restored: %v\n", rollbackExact)
+
+	if check {
+		failed := false
+		if fleetAcc < baseAcc-5 {
+			fmt.Fprintf(os.Stderr, "fedsc-fleet: accuracy gate failed: fleet %.2f%% trails baseline %.2f%% by more than 5 points\n",
+				fleetAcc, baseAcc)
+			failed = true
+		}
+		if !rollbackExact {
+			fmt.Fprintln(os.Stderr, "fedsc-fleet: rollback gate failed")
+			failed = true
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("check: all acceptance gates passed")
+	}
+	return nil
+}

@@ -254,6 +254,44 @@ func BuildModel(theta *mat.Dense, labels []int, l, targetDim int, method Central
 	return m, nil
 }
 
+// ModelFromBases packs already-estimated orthonormal cluster bases into
+// a serving artifact: cluster g gets bases[g] with samples[g] recorded
+// as its diagnostic sample count (nil samples records zeros). It is the
+// splice primitive of continuous federation (internal/fleet): an
+// incremental round appends delta-solved bases to a served model's
+// existing ones without re-running the original Phase 2.
+func ModelFromBases(ambient int, bases []*mat.Dense, samples []int, method CentralMethod) (*Model, error) {
+	if ambient <= 0 {
+		return nil, fmt.Errorf("core: non-positive ambient dimension %d", ambient)
+	}
+	if len(bases) == 0 {
+		return nil, fmt.Errorf("core: no cluster bases")
+	}
+	if samples != nil && len(samples) != len(bases) {
+		return nil, fmt.Errorf("core: %d sample counts for %d bases", len(samples), len(bases))
+	}
+	m := &Model{
+		Version: ModelVersion,
+		Ambient: ambient,
+		L:       len(bases),
+		Method:  string(method),
+	}
+	for g, b := range bases {
+		if b.Rows() != ambient {
+			return nil, fmt.Errorf("core: cluster %d basis lives in %d dims, want %d", g, b.Rows(), ambient)
+		}
+		count := 0
+		if samples != nil {
+			count = samples[g]
+		}
+		data := make([]float64, len(b.Data()))
+		copy(data, b.Data())
+		m.Clusters = append(m.Clusters, ClusterBasis{Dim: b.Cols(), Data: data, Samples: count})
+	}
+	m.Seal()
+	return m, nil
+}
+
 // ModelFromResult builds the serving artifact from a completed in-process
 // run: it re-pools the retained Phase 1 samples and their server labels.
 // targetDim is as in GlobalBases.

@@ -144,8 +144,9 @@ func (p RetryPolicy) replyDeadline() time.Time {
 }
 
 // exchange runs one wire exchange — hello, upload (echoing the hello's
-// round nonce), reply — on an established connection and closes it.
-func exchange(conn net.Conn, deviceID int, upload SampleUpload, policy RetryPolicy) (AssignmentReply, error) {
+// round nonce, encoded with the codec negotiated from the hello's
+// advertisement), reply — on an established connection and closes it.
+func exchange(conn net.Conn, deviceID int, upload SampleUpload, wire WireOptions, policy RetryPolicy) (AssignmentReply, error) {
 	// The protocol is one-shot: a Close error after a complete exchange
 	// changes nothing the client can act on.
 	defer func() { _ = conn.Close() }()
@@ -157,6 +158,10 @@ func exchange(conn net.Conn, deviceID int, upload SampleUpload, policy RetryPoli
 		return AssignmentReply{}, fmt.Errorf("fednet: device %d round hello: %w", deviceID, err)
 	}
 	upload.Nonce = hello.Nonce
+	upload, err := encodeWire(upload, wire, hello.Codecs)
+	if err != nil {
+		return AssignmentReply{}, err
+	}
 	if err := conn.SetWriteDeadline(policy.ioDeadline()); err != nil {
 		return AssignmentReply{}, fmt.Errorf("fednet: device %d set write deadline: %w", deviceID, err)
 	}
@@ -182,8 +187,19 @@ func exchange(conn net.Conn, deviceID int, upload SampleUpload, policy RetryPoli
 // replacement is idempotent), then each attempt dials a fresh
 // connection and performs the wire exchange, backing off between
 // failures per the policy. Phase 3 runs locally on the first
-// successful reply.
+// successful reply. Uploads travel as float64 passthrough; see
+// RunClientDialerWire for the quantized wire.
 func RunClientDialer(dial func() (net.Conn, error), deviceID int, x *mat.Dense, local core.LocalOptions, policy RetryPolicy, rng *rand.Rand) (ClientResult, error) {
+	return RunClientDialerWire(dial, deviceID, x, local, policy, WireOptions{}, rng)
+}
+
+// RunClientDialerWire is RunClientDialer with an explicit wire
+// configuration: with WireOptions.Quant set, every attempt re-packs
+// the identical Phase 1 samples with the stateless quantizer whenever
+// the server's hello advertises CodecQuant, so retried and duplicated
+// uploads stay byte-identical and dedup-idempotent while the uplink
+// carries Bits (not 64) bits per value.
+func RunClientDialerWire(dial func() (net.Conn, error), deviceID int, x *mat.Dense, local core.LocalOptions, policy RetryPolicy, wire WireOptions, rng *rand.Rand) (ClientResult, error) {
 	lr := core.LocalClusterAndSample(x, local, rng)
 	rows, cols := lr.Samples.Dims()
 	upload := SampleUpload{
@@ -216,7 +232,7 @@ func RunClientDialer(dial func() (net.Conn, error), deviceID int, x *mat.Dense, 
 			lastErr = fmt.Errorf("fednet: device %d dial: %w", deviceID, err)
 			continue
 		}
-		reply, err := exchange(conn, deviceID, upload, policy)
+		reply, err := exchange(conn, deviceID, upload, wire, policy)
 		if err != nil {
 			lastErr = err
 			var rejected rejectionError
@@ -279,6 +295,14 @@ func applyPhase3(x *mat.Dense, local core.LocalOptions, lr core.LocalResult, ass
 // receives a rejection, which is drained concurrently so the server's
 // reply pass can never block on an unread synchronous transport.
 func RunClientDuplicate(dial func() (net.Conn, error), deviceID int, x *mat.Dense, local core.LocalOptions, policy RetryPolicy, rng *rand.Rand) (ClientResult, error) {
+	return RunClientDuplicateWire(dial, deviceID, x, local, policy, WireOptions{}, rng)
+}
+
+// RunClientDuplicateWire is RunClientDuplicate under an explicit wire
+// configuration; both the doomed first upload and the live second one
+// negotiate their codec from their own connection's hello, so the
+// duplicate carries the same quantized bytes as the original.
+func RunClientDuplicateWire(dial func() (net.Conn, error), deviceID int, x *mat.Dense, local core.LocalOptions, policy RetryPolicy, wire WireOptions, rng *rand.Rand) (ClientResult, error) {
 	lr := core.LocalClusterAndSample(x, local, rng)
 	rows, cols := lr.Samples.Dims()
 	upload := SampleUpload{DeviceID: deviceID, Rows: rows, Cols: cols, Data: lr.Samples.Data()}
@@ -298,6 +322,11 @@ func RunClientDuplicate(dial func() (net.Conn, error), deviceID int, x *mat.Dens
 	}
 	first := upload
 	first.Nonce, first.Attempt = helloA.Nonce, 1
+	first, err = encodeWire(first, wire, helloA.Codecs)
+	if err != nil {
+		_ = connA.Close() // the exchange failed; nothing acts on the close error
+		return ClientResult{}, err
+	}
 	if err := connA.SetWriteDeadline(policy.ioDeadline()); err != nil {
 		_ = connA.Close() // the exchange failed; nothing acts on the close error
 		return ClientResult{}, fmt.Errorf("fednet: device %d set write deadline: %w", deviceID, err)
@@ -333,7 +362,7 @@ func RunClientDuplicate(dial func() (net.Conn, error), deviceID int, x *mat.Dens
 		if err != nil {
 			return AssignmentReply{}, fmt.Errorf("fednet: device %d dial: %w", deviceID, err)
 		}
-		return exchange(connB, deviceID, second, policy)
+		return exchange(connB, deviceID, second, wire, policy)
 	}()
 	if err != nil {
 		return ClientResult{}, err

@@ -40,6 +40,11 @@ type Server struct {
 	// MinClients is the minimum number of devices required to run the
 	// round when WaitTimeout fires (default 1).
 	MinClients int
+	// Codecs lists the upload encodings the server advertises and
+	// accepts, in preference order; nil accepts every codec (float64
+	// passthrough and the quantized Section IV-E wire). An upload whose
+	// codec was not advertised is rejected.
+	Codecs []WireCodec
 	// MaxUploadBytes, when positive, caps the gob-encoded size of a
 	// single upload; a connection exceeding it is rejected before the
 	// oversized payload reaches the decoder's allocations.
@@ -63,6 +68,14 @@ type Server struct {
 	Trace *obs.Tracer
 }
 
+// codecs resolves the advertised codec list (nil accepts everything).
+func (s *Server) codecs() []WireCodec {
+	if s.Codecs != nil {
+		return s.Codecs
+	}
+	return []WireCodec{CodecQuant, CodecFloat64}
+}
+
 // reg resolves the metrics destination.
 func (s *Server) reg() *obs.Registry {
 	if s.Obs != nil {
@@ -76,6 +89,13 @@ type ServeStats struct {
 	// UplinkBytes is the gob-encoded uplink volume actually received,
 	// including aborted partial attempts that were later retried.
 	UplinkBytes int64
+	// UplinkPayloadBits is the Section IV-E payload volume of the
+	// pooled uploads: values × bits-per-value under each device's
+	// negotiated codec (n·q·Σr⁽ᶻ⁾ when every device quantizes at q
+	// bits). Unlike UplinkBytes it excludes gob framing, duplicates,
+	// and aborted attempts, so it is directly comparable with
+	// core.Result.UplinkBits.
+	UplinkPayloadBits int64
 	// DownlinkBytes is the gob-encoded downlink volume actually sent
 	// (round hellos and assignment replies), so the Section IV-E
 	// communication accounting covers both directions.
@@ -196,7 +216,7 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 			arrivals <- c
 			return
 		}
-		if err := c.enc.Encode(RoundHello{Nonce: nonce}); err != nil {
+		if err := c.enc.Encode(RoundHello{Nonce: nonce, Codecs: s.codecs()}); err != nil {
 			c.err = fmt.Errorf("fednet: send round hello: %w", err)
 			arrivals <- c
 			return
@@ -218,6 +238,8 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 		}
 		if c.upload.Nonce != nonce {
 			c.err = fmt.Errorf("fednet: device %d echoed a stale round nonce", c.upload.DeviceID)
+		} else if !codecOffered(s.codecs(), c.upload.codec()) {
+			c.err = fmt.Errorf("fednet: device %d uploaded with unadvertised codec %q", c.upload.DeviceID, c.upload.codec())
 		} else {
 			c.err = c.upload.Validate()
 		}
@@ -358,6 +380,7 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 	offsets := map[int]int{}
 	total := 0
 	ambient := -1
+	var payloadBits int64
 	for _, id := range ids {
 		c := byDevice[id]
 		if c.upload.Cols > 0 && ambient < 0 {
@@ -369,9 +392,20 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 			delete(byDevice, id)
 			continue
 		}
+		// Validate already checked the codec payload shape, so the
+		// decode cannot fail here; the error path still evicts the
+		// device rather than pooling a short matrix.
+		values, err := c.upload.Samples()
+		if err != nil {
+			c.err = fmt.Errorf("fednet: decode samples: %w", err)
+			failed = append(failed, c)
+			delete(byDevice, id)
+			continue
+		}
 		offsets[id] = total
-		parts = append(parts, mat.NewDenseData(c.upload.Rows, c.upload.Cols, c.upload.Data))
+		parts = append(parts, mat.NewDenseData(c.upload.Rows, c.upload.Cols, values))
 		total += c.upload.Cols
+		payloadBits += c.upload.PayloadBits()
 	}
 	var labels []int
 	var exported *core.Model
@@ -439,12 +473,13 @@ func (s *Server) Serve(ln net.Listener) (ServeStats, error) {
 	replySpan.End()
 
 	stats := ServeStats{
-		UplinkBytes:   up.total(),
-		DownlinkBytes: down.total(),
-		Samples:       total,
-		Devices:       len(byDevice),
-		Retries:       retries,
-		Model:         exported,
+		UplinkBytes:       up.total(),
+		UplinkPayloadBits: payloadBits,
+		DownlinkBytes:     down.total(),
+		Samples:           total,
+		Devices:           len(byDevice),
+		Retries:           retries,
+		Model:             exported,
 	}
 	for _, c := range failed {
 		stats.Failures = append(stats.Failures,
@@ -487,6 +522,7 @@ func (s *Server) publish(stats ServeStats, elapsed time.Duration) {
 	reg := s.reg()
 	reg.Counter("fedsc_fednet_rounds_total", "Aggregation rounds that reached the reply phase.").Inc()
 	reg.Counter("fedsc_fednet_uplink_bytes_total", "Gob-encoded upload bytes received, including aborted partial attempts.").Add(stats.UplinkBytes)
+	reg.Counter("fedsc_fednet_uplink_payload_bits_total", "Section IV-E payload bits pooled (values x bits-per-value under the negotiated codec).").Add(stats.UplinkPayloadBits)
 	reg.Counter("fedsc_fednet_downlink_bytes_total", "Gob-encoded bytes sent to devices (round hellos and replies).").Add(stats.DownlinkBytes)
 	reg.Counter("fedsc_fednet_supersedes_total", "Uploads idempotently replaced by a newer attempt from the same device.").Add(int64(stats.Retries))
 	reg.Counter("fedsc_fednet_upload_failures_total", "Connections whose upload was rejected, timed out, or superseded.").Add(int64(len(stats.Failures)))

@@ -18,8 +18,10 @@ import (
 	"fedsc/internal/chaos"
 	"fedsc/internal/core"
 	"fedsc/internal/fednet"
+	"fedsc/internal/fleet"
 	"fedsc/internal/mat"
 	"fedsc/internal/obs"
+	"fedsc/internal/store"
 	"fedsc/internal/synth"
 )
 
@@ -203,6 +205,63 @@ func FedSCRoundUnderLatency(b *testing.B) {
 	}
 }
 
+// FedSCIncrementalRound measures the continuous-federation steady
+// state (internal/fleet): one Join wave of two late devices whose
+// clusters all absorb into the served model — per-device Phase 1, the
+// serve-engine scoring of every local cluster, and the principal-angle
+// similarity test, with no delta sub-solve and no store write. This is
+// the recurring cost of a long-running fleet between splices.
+func FedSCIncrementalRound(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	s := synth.RandomSubspaces(30, 3, 4, rng)
+	device := func() *mat.Dense {
+		clusters := rng.Perm(4)[:2]
+		counts := make([]int, 4)
+		for _, c := range clusters {
+			counts[c] = 12
+		}
+		return s.SampleCounts(counts, rng).X
+	}
+	founding := make([]*mat.Dense, 8)
+	for dev := range founding {
+		founding[dev] = device()
+	}
+	late := []*mat.Dense{device(), device()}
+
+	dir, err := os.MkdirTemp("", "fedsc-bench-fleet-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := fleet.New(fleet.Config{
+		L:     4,
+		Local: core.LocalOptions{UseEigengap: true, SamplesPerCluster: 3},
+		Seed:  8,
+		Store: st,
+		Obs:   obs.NewRegistry(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := ctl.Initial(founding); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ctl.Join(late)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Changed {
+			b.Fatalf("iteration %d spliced %d clusters; the steady-state bench must absorb everything", i, res.Spliced)
+		}
+	}
+}
+
 // Named pairs a stable benchmark name with its body. Names match the
 // root-level `Benchmark<Name>` functions.
 type Named struct {
@@ -221,6 +280,7 @@ func Suite() []Named {
 		{"FedSCRoundCentralHeavy", FedSCRoundCentralHeavy},
 		{"FedSCRoundSharded", FedSCRoundSharded},
 		{"FedSCRoundUnderLatency", FedSCRoundUnderLatency},
+		{"FedSCIncrementalRound", FedSCIncrementalRound},
 	}
 }
 

@@ -1,0 +1,125 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackUnpackRoundtrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		bits := 1 + r.Intn(32)
+		q := Quantizer{Bits: bits}
+		n := r.Intn(40)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = 2*r.Float64() - 1
+		}
+		packed, err := q.Pack(vals)
+		if err != nil {
+			return false
+		}
+		if len(packed) != q.PackedLen(n) {
+			return false
+		}
+		got, err := q.Unpack(packed, n)
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			// Wire roundtrip must equal the in-process lossy codec
+			// exactly: same cell center, bit for bit.
+			if got[i] != q.Roundtrip(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackDeterministic(t *testing.T) {
+	q := Quantizer{Bits: 5}
+	vals := []float64{-1, -0.3, 0, 0.25, 0.9, 1}
+	a, err := q.Pack(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := q.Pack(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("pack not deterministic: % x vs % x", a, b)
+	}
+}
+
+func TestPackedLenMatchesBitCount(t *testing.T) {
+	for _, bits := range []int{1, 3, 8, 13, 32} {
+		q := Quantizer{Bits: bits}
+		for _, n := range []int{0, 1, 7, 64} {
+			want := (n*bits + 7) / 8
+			if got := q.PackedLen(n); got != want {
+				t.Fatalf("PackedLen(%d) at %d bits = %d, want %d", n, bits, got, want)
+			}
+		}
+	}
+}
+
+func TestUnpackRejectsBadInput(t *testing.T) {
+	q := Quantizer{Bits: 3}
+	vals := []float64{0.1, -0.4, 0.7}
+	packed, err := q.Pack(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Unpack(packed, 6); err == nil {
+		t.Fatal("wrong count accepted")
+	}
+	if _, err := q.Unpack(packed[:len(packed)-1], 3); err == nil && len(packed) > 1 {
+		t.Fatal("truncated stream accepted")
+	}
+	if _, err := q.Unpack(packed, -1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	// 3 values x 3 bits = 9 bits in 2 bytes: 7 padding bits must be zero.
+	bad := append([]byte(nil), packed...)
+	bad[len(bad)-1] |= 0x01
+	if _, err := q.Unpack(bad, 3); err == nil {
+		t.Fatal("non-zero padding accepted")
+	}
+	if _, err := (Quantizer{Bits: 0}).Pack(vals); err == nil {
+		t.Fatal("invalid quantizer accepted by Pack")
+	}
+	if _, err := (Quantizer{Bits: 33}).Unpack(packed, 3); err == nil {
+		t.Fatal("invalid quantizer accepted by Unpack")
+	}
+}
+
+func TestPackErrorWithinHalfCell(t *testing.T) {
+	q := Quantizer{Bits: 10}
+	rng := rand.New(rand.NewSource(302))
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = 2*rng.Float64() - 1
+	}
+	packed, err := q.Pack(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := q.Unpack(packed, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := 2.0 / float64(1<<10)
+	for i, v := range vals {
+		if math.Abs(got[i]-v) > cell/2+1e-12 {
+			t.Fatalf("value %d error %v exceeds half cell", i, math.Abs(got[i]-v))
+		}
+	}
+}

@@ -39,9 +39,15 @@ type ModelInfo struct {
 	Created  time.Time `json:"created"`
 	LoadedAt time.Time `json:"loaded_at"`
 	Checksum string    `json:"checksum"`
-	Seq      uint64    `json:"seq"`
-	Active   bool      `json:"active"`
-	Default  bool      `json:"default,omitempty"`
+	// Digest is the full hex SHA-256 content address of the artifact —
+	// the same string the store manifest maps the tag (Name) to, so a
+	// fleet rollback is observable from the serving side: after the
+	// manifest retags and the registry syncs, the active entry for the
+	// tag carries the restored digest.
+	Digest  string `json:"digest"`
+	Seq     uint64 `json:"seq"`
+	Active  bool   `json:"active"`
+	Default bool   `json:"default,omitempty"`
 }
 
 // historyCap bounds the load log. A long-lived server hot-reloading
@@ -159,6 +165,7 @@ func (r *Registry) recordLocked(snap *Snapshot) {
 		Created:  m.Created(),
 		LoadedAt: snap.LoadedAt,
 		Checksum: checksumHex(m),
+		Digest:   snap.Digest,
 		Seq:      snap.Seq,
 	})
 	if len(r.history) > historyCap {
