@@ -118,6 +118,15 @@ func BenchmarkSSCAffinity(b *testing.B) {
 // by spectral clustering and the eigengap estimate.
 func BenchmarkSymEigen(b *testing.B) { perf.SymEigen(b) }
 
+// BenchmarkSymEigenPartial measures the k-pair partial eigensolver on
+// the same matrix as BenchmarkSymEigen (k=8 of n=200) — the spectral
+// embedding regime where it must beat the full decomposition.
+func BenchmarkSymEigenPartial(b *testing.B) { perf.SymEigenPartial(b) }
+
+// BenchmarkDistributedSVD measures one in-process projection-splitting
+// dominant SVD solve (internal/dsvd).
+func BenchmarkDistributedSVD(b *testing.B) { perf.DistributedSVD(b) }
+
 // BenchmarkMulTA measures the transposed product behind Gram-matrix
 // formation and the randomized SVD's projection step.
 func BenchmarkMulTA(b *testing.B) { perf.MulTA(b) }

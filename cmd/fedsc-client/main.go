@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 
 	"fedsc/internal/core"
 	"fedsc/internal/fednet"
@@ -34,6 +35,7 @@ func main() {
 		dim      = flag.Int("dim", 5, "subspace dimension")
 		ambient  = flag.Int("ambient", 20, "ambient dimension")
 		dataSeed = flag.Int64("data-seed", 7, "seed of the SHARED subspace arrangement")
+		dsvdMode = flag.Bool("dsvd", false, "serve a distributed dominant SVD round (pair with fedsc-server -dsvd)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,21 @@ func main() {
 		counts[clusters[k%*lprime]]++
 	}
 	ds := s.SampleCounts(counts, local)
+
+	if *dsvdMode {
+		// Distributed SVD: the raw local columns never leave the device;
+		// each iteration uploads only their n×k projection of the basis
+		// the server sent.
+		stats, err := fednet.RunDSVDClient(func() (net.Conn, error) {
+			return net.Dial("tcp", *addr)
+		}, *id, ds.X, fednet.RetryPolicy{MaxAttempts: 3}, fednet.WireOptions{}, local)
+		if err != nil {
+			log.Fatalf("fedsc-client: dsvd: %v", err)
+		}
+		fmt.Printf("device %d: served %d dsvd iterations in %d attempts over %d local columns\n",
+			*id, stats.Iters, stats.Attempts, ds.X.Cols())
+		return
+	}
 
 	res, err := fednet.DialAndRun(*addr, *id, ds.X,
 		core.LocalOptions{UseEigengap: true}, local)

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	fedsc-server -addr :7070 -clients 8 -L 20 [-central ssc|tsc]
+//	fedsc-server -addr :7070 -clients 4 -dsvd -dsvd-k 3 -ambient 20
+//
+// With -dsvd the server instead coordinates a distributed dominant SVD
+// (internal/dsvd): devices keep their raw column blocks and upload only
+// n×k subspace projections each iteration.
 //
 // Pair with cmd/fedsc-client.
 package main
@@ -15,8 +20,10 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"fedsc/internal/core"
+	"fedsc/internal/dsvd"
 	"fedsc/internal/fednet"
 	"fedsc/internal/mat"
 	"fedsc/internal/obs"
@@ -37,6 +44,10 @@ func main() {
 		storeDir  = flag.String("store", "", "deploy the serving artifact into this content-addressed store")
 		tag       = flag.String("tag", "round", "manifest name for the artifact (with -store)")
 		debugAddr = flag.String("debug-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
+		dsvdMode  = flag.Bool("dsvd", false, "run a distributed dominant SVD round instead of Fed-SC clustering")
+		dsvdK     = flag.Int("dsvd-k", 5, "number of dominant singular pairs to estimate (with -dsvd)")
+		dsvdTol   = flag.Float64("dsvd-tol", 1e-9, "relative subspace residual stopping tolerance (with -dsvd)")
+		ambient   = flag.Int("ambient", 20, "ambient (row) dimension of the device column blocks (with -dsvd)")
 	)
 	flag.Parse()
 
@@ -62,6 +73,31 @@ func main() {
 		log.Fatalf("fedsc-server: listen: %v", err)
 	}
 	defer func() { _ = ln.Close() }()
+
+	if *dsvdMode {
+		// Distributed dominant SVD: devices keep their column blocks and
+		// per iteration upload only the n×k projection of the shared
+		// iterate — basis estimation without centralizing any data.
+		log.Printf("fedsc-server: waiting for %d devices on %s (distributed SVD, n=%d, k=%d)",
+			*clients, ln.Addr(), *ambient, *dsvdK)
+		srv := &fednet.DSVDServer{
+			Expect:      *clients,
+			Rows:        *ambient,
+			Opts:        dsvd.Options{K: *dsvdK, Tol: *dsvdTol, Seed: *seed},
+			WaitTimeout: 5 * time.Minute,
+		}
+		stats, err := srv.Serve(ln)
+		if err != nil {
+			log.Fatalf("fedsc-server: dsvd: %v", err)
+		}
+		fmt.Printf("dsvd complete: %d iterations, residual %.3e, converged=%v\n",
+			stats.Result.Iters, stats.Result.Residual, stats.Result.Converged)
+		fmt.Printf("singular values: %v\n", stats.Result.Sigma)
+		fmt.Printf("wire: %d uplink bytes (%d payload bits), %d downlink bytes, %d retries\n",
+			stats.UplinkBytes, stats.UplinkPayloadBits, stats.DownlinkBytes, stats.Retries)
+		return
+	}
+
 	log.Printf("fedsc-server: waiting for %d clients on %s (L=%d, central=%s)",
 		*clients, ln.Addr(), *l, *central)
 

@@ -117,6 +117,14 @@ type Options struct {
 	// privacy-utility direction). Composition across a device's r⁽ᶻ⁾
 	// releases is the caller's accounting concern (privacy.Compose).
 	DP *privacy.Params
+	// DistributedBases refines each exported global-cluster basis with
+	// a distributed dominant SVD (internal/dsvd) over the devices' own
+	// columns assigned to that cluster: every round only the n×k
+	// projected iterate leaves a device, never raw columns, yet the
+	// refined basis sees all of the cluster's points instead of just
+	// the uploaded Phase 1 samples. False keeps the sample-only
+	// estimate.
+	DistributedBases bool
 	// Obs receives the round metrics (per-phase latencies, pooled
 	// sample counts, uplink/downlink bits); nil publishes to the
 	// process-wide obs.Default registry.

@@ -3,11 +3,13 @@ package core
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"fedsc/internal/mat"
 	"fedsc/internal/metrics"
 	"fedsc/internal/synth"
+	"fedsc/internal/theory"
 )
 
 // fedData builds the paper's synthetic federated setting: L subspaces of
@@ -297,5 +299,71 @@ func TestGlobalLabelsEdgeCases(t *testing.T) {
 	// n = 0 with no devices.
 	if got := GlobalLabels([][]int{}, [][]int{}, 0); len(got) != 0 {
 		t.Fatalf("GlobalLabels(0 points) = %v", got)
+	}
+}
+
+// TestRunDistributedBasesRefinement pins the dsvd-refined export path:
+// with Options.DistributedBases each global cluster's basis must match
+// the truncated SVD of the cluster's pooled raw columns — the matrix
+// the distributed solve never materializes in one place — to
+// principal-angle cosine >= 0.999, stay orthonormal, and replay
+// bit-identically for a fixed seed.
+func TestRunDistributedBasesRefinement(t *testing.T) {
+	const l = 4
+	run := func() Result {
+		devices, _, _ := fedData(20, 3, l, 12, 2, 8, 150)
+		return Run(devices, l, Options{Local: LocalOptions{UseEigengap: true}, DistributedBases: true},
+			rand.New(rand.NewSource(6)))
+	}
+	devices, _, _ := fedData(20, 3, l, 12, 2, 8, 150)
+	res := run()
+	refined := 0
+	for g := 0; g < l; g++ {
+		basis := res.GlobalBases[g]
+		k := basis.Cols()
+		if k == 0 {
+			continue
+		}
+		refined++
+		gram := mat.MulTA(basis, basis)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(gram.At(i, j)-want) > 1e-9 {
+					t.Fatalf("cluster %d basis not orthonormal at %d,%d: %g", g, i, j, gram.At(i, j))
+				}
+			}
+		}
+		var parts []*mat.Dense
+		for dev := range devices {
+			var idx []int
+			for i, lab := range res.Labels[dev] {
+				if lab == g {
+					idx = append(idx, i)
+				}
+			}
+			if len(idx) > 0 {
+				parts = append(parts, devices[dev].SelectCols(idx))
+			}
+		}
+		central, _ := mat.TruncatedSVD(mat.HStack(parts...), k)
+		for _, c := range theory.PrincipalAngles(basis, central) {
+			if c < 0.999 {
+				t.Fatalf("cluster %d refined basis drifts from centralized SVD: cosines %v",
+					g, theory.PrincipalAngles(basis, central))
+			}
+		}
+	}
+	if refined == 0 {
+		t.Fatal("no cluster produced a refinable basis")
+	}
+	replay := run()
+	for g := 0; g < l; g++ {
+		if !reflect.DeepEqual(res.GlobalBases[g].Data(), replay.GlobalBases[g].Data()) {
+			t.Fatalf("cluster %d refined basis not bit-identical across seeded replays", g)
+		}
 	}
 }

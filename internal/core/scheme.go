@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"time"
 
+	"fedsc/internal/dsvd"
 	"fedsc/internal/mat"
 	"fedsc/internal/obs"
 	"fedsc/internal/privacy"
@@ -183,8 +184,55 @@ func aggregate(parent *obs.Span, devices []*mat.Dense, locals []LocalResult, l i
 	export := parent.Start("export.bases")
 	res.GlobalBases, res.GlobalDims = GlobalBases(theta, central.Labels, l, opts.Local.TargetDim)
 	export.End()
+	if opts.DistributedBases {
+		refine := parent.Start("export.refine", obs.Int("clusters", l))
+		refineBasesDistributed(devices, res.Labels, res.GlobalBases, res.GlobalDims, opts, rng)
+		refine.End()
+	}
 	publishRound(opts.reg(), res, total)
 	return res
+}
+
+// refineBasesDistributed re-estimates each global cluster's exported
+// basis by a distributed dominant SVD over the devices' raw columns
+// assigned to that cluster (Options.DistributedBases): per iteration a
+// device contributes only its n×k projection of the shared iterate, so
+// the refined basis is fit to every point of the cluster while no raw
+// column ever leaves its device. Clusters that received no points, or
+// whose estimated dimension is zero, keep the sample-based basis.
+// Per-cluster seeds are drawn up front so the rng stream does not
+// depend on which clusters are skipped.
+func refineBasesDistributed(devices []*mat.Dense, labels [][]int, bases []*mat.Dense, dims []int, opts Options, rng *rand.Rand) {
+	seeds := make([]int64, len(bases))
+	for g := range seeds {
+		seeds[g] = rng.Int63()
+	}
+	for g := range bases {
+		blocks := make([]*mat.Dense, len(devices))
+		total := 0
+		for z, dev := range devices {
+			var idx []int
+			for i, lab := range labels[z] {
+				if lab == g {
+					idx = append(idx, i)
+				}
+			}
+			blocks[z] = dev.SelectCols(idx)
+			total += len(idx)
+		}
+		k := dims[g]
+		if k > total {
+			k = total
+		}
+		if k <= 0 {
+			continue
+		}
+		refined, err := dsvd.Run(blocks, dsvd.Options{K: k, Seed: seeds[g], Obs: opts.Obs, Trace: opts.Trace})
+		if err != nil {
+			continue // no devices at all: keep the sample-based basis
+		}
+		bases[g] = refined.U
+	}
 }
 
 // publishRound pushes one round's phase latencies and volumes into the

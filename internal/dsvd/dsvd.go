@@ -1,0 +1,292 @@
+// Package dsvd estimates the dominant (truncated) left singular
+// subspace of a matrix whose columns are partitioned across devices,
+// via projection splitting (PAPERS.md: Wang, Liu & Zhang, "Distributed
+// and Secure Dominant SVD"). The coordinator holds an orthonormal n×k
+// iterate U; each round every device z applies its own column block to
+// it — W_z = A_z (A_zᵀ U) — and only that n×k projection crosses the
+// wire, never the raw columns. The coordinator sums the projections in
+// device order, measures the subspace residual, re-orthonormalizes, and
+// repeats until the residual drops below tolerance. One final Ritz
+// rotation on the k×k Rayleigh quotient turns the converged subspace
+// into singular vectors with singular-value estimates.
+//
+// Everything is a pure function of (blocks, Options): the initial
+// iterate is drawn from a seeded rng, sums run in fixed device order,
+// and the iteration count is residual-driven — so a networked run over
+// fednet reproduces the in-process result bit for bit, and a chaos
+// replay of a networked run reproduces it again.
+package dsvd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/obs"
+)
+
+// Options configures one distributed SVD solve.
+type Options struct {
+	// K is the number of dominant left singular pairs to estimate.
+	K int
+	// MaxIter caps the projection-splitting rounds; non-positive means
+	// the default of 64.
+	MaxIter int
+	// Tol is the relative subspace residual ‖W − U(UᵀW)‖_F/‖W‖_F below
+	// which the iteration stops; non-positive means the default of 1e-9.
+	Tol float64
+	// Seed draws the initial orthonormal iterate; equal seeds (with
+	// equal blocks) give bit-identical runs.
+	Seed int64
+	// Obs receives the fedsc_dsvd_* metrics; nil publishes to the
+	// process-wide obs.Default registry.
+	Obs *obs.Registry
+	// Trace, when non-nil, records one span per iteration under a
+	// dsvd.run root.
+	Trace *obs.Tracer
+}
+
+func (o Options) maxIter() int {
+	if o.MaxIter <= 0 {
+		return 64
+	}
+	return o.MaxIter
+}
+
+func (o Options) tol() float64 {
+	if o.Tol <= 0 {
+		return 1e-9
+	}
+	return o.Tol
+}
+
+func (o Options) reg() *obs.Registry {
+	if o.Obs != nil {
+		return o.Obs
+	}
+	return obs.Default()
+}
+
+// Result is a converged (or iteration-capped) distributed solve.
+type Result struct {
+	// U is the n×k estimated dominant left singular basis, columns
+	// ordered by descending singular value.
+	U *mat.Dense
+	// Sigma are the singular-value estimates, descending.
+	Sigma []float64
+	// Iters is the number of projection-splitting rounds performed.
+	Iters int
+	// Residual is the relative subspace residual at the last round.
+	Residual float64
+	// Converged reports whether Residual reached Options.Tol before
+	// MaxIter.
+	Converged bool
+}
+
+// State is the coordinator side of the iteration, shared by the
+// in-process Run and the fednet coordinator so both walk the identical
+// float sequence. Each round: hand Basis to the devices, pool their
+// projections with Pool (fixed device order), Ingest the pooled matrix.
+type State struct {
+	n, k      int
+	tol       float64
+	maxIter   int
+	u         *mat.Dense
+	lastU     *mat.Dense
+	lastW     *mat.Dense
+	iters     int
+	residual  float64
+	converged bool
+}
+
+// NewState validates the problem shape and draws the seeded initial
+// orthonormal iterate.
+func NewState(n int, opts Options) (*State, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dsvd: ambient dimension must be positive, got %d", n)
+	}
+	k := opts.K
+	if k <= 0 {
+		return nil, fmt.Errorf("dsvd: target rank must be positive, got %d", k)
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	return &State{
+		n:       n,
+		k:       k,
+		tol:     opts.tol(),
+		maxIter: opts.maxIter(),
+		u:       mat.RandomOrthonormal(n, k, rng),
+	}, nil
+}
+
+// N is the ambient (row) dimension of the iterate.
+func (s *State) N() int { return s.n }
+
+// K is the effective target rank (Options.K clamped to n).
+func (s *State) K() int { return s.k }
+
+// Iters is the number of rounds ingested so far.
+func (s *State) Iters() int { return s.iters }
+
+// Residual is the relative subspace residual of the last ingested
+// round (meaningless before the first).
+func (s *State) Residual() float64 { return s.residual }
+
+// Basis is the current orthonormal iterate — the only thing that ever
+// travels coordinator → device.
+func (s *State) Basis() *mat.Dense { return s.u }
+
+// Done reports whether the iteration should stop: converged below
+// tolerance or out of rounds.
+func (s *State) Done() bool {
+	return s.converged || s.iters >= s.maxIter
+}
+
+// Ingest consumes the pooled projection W = Σ_z W_z of the round that
+// used the current basis, records the relative residual, and advances
+// the iterate by re-orthonormalization. It returns that residual.
+func (s *State) Ingest(w *mat.Dense) float64 {
+	if r, c := w.Dims(); r != s.n || c != s.k {
+		panic(fmt.Sprintf("dsvd: pooled projection is %dx%d, want %dx%d", r, c, s.n, s.k))
+	}
+	// ρ = ‖W − U(UᵀW)‖_F / ‖W‖_F: the mass of W outside span(U). When
+	// span(U) is invariant under A Aᵀ the projection adds nothing new
+	// and the subspace has converged.
+	b := mat.MulTA(s.u, w)
+	p := mat.Mul(s.u, b)
+	wd, pd := w.Data(), p.Data()
+	num, den := 0.0, 0.0
+	for i, v := range wd {
+		d := v - pd[i]
+		num += d * d
+		den += v * v
+	}
+	rho := 0.0
+	if den > 0 {
+		rho = math.Sqrt(num / den)
+	}
+	s.lastU, s.lastW = s.u, w
+	s.u = mat.QRFactor(w).Q
+	s.iters++
+	s.residual = rho
+	s.converged = rho <= s.tol
+	return rho
+}
+
+// Finalize turns the converged subspace into ordered singular pairs by
+// one Ritz rotation: B = UᵀW = Uᵀ(A Aᵀ)U is the k×k Rayleigh quotient
+// of the last iterate, its eigenvalues estimate σ², and rotating U by
+// its eigenvectors aligns the basis columns with the singular
+// directions. Finalize panics before the first Ingest.
+func (s *State) Finalize() Result {
+	if s.lastU == nil {
+		panic("dsvd: Finalize before any iteration")
+	}
+	b := mat.MulTA(s.lastU, s.lastW)
+	b.Symmetrize()
+	eig := mat.SymEigen(b) // k×k: full decomposition of a tiny matrix
+	idx := make([]int, s.k)
+	sigma := make([]float64, s.k)
+	for j := 0; j < s.k; j++ {
+		src := s.k - 1 - j // ascending → descending
+		idx[j] = src
+		if v := eig.Values[src]; v > 0 {
+			sigma[j] = math.Sqrt(v)
+		}
+	}
+	u := mat.Mul(s.lastU, eig.Vectors.SelectCols(idx))
+	return Result{U: u, Sigma: sigma, Iters: s.iters, Residual: s.residual, Converged: s.converged}
+}
+
+// ProjectBlock is the device-side step: W_z = A_z (A_zᵀ U) for the
+// device's column block. Both products are against the k-column
+// iterate, so the device never materializes (or transmits) anything
+// wider than n×k; a device with no columns contributes a zero matrix.
+func ProjectBlock(block, u *mat.Dense) *mat.Dense {
+	if block.Cols() == 0 {
+		return mat.NewDense(u.Rows(), u.Cols())
+	}
+	if block.Rows() != u.Rows() {
+		panic(fmt.Sprintf("dsvd: block has %d rows, iterate has %d", block.Rows(), u.Rows()))
+	}
+	return mat.Mul(block, mat.MulTA(block, u))
+}
+
+// Pool sums per-device projections in slice (device) order. The order
+// is part of the determinism contract: float addition does not
+// commute, so the coordinator — in process or behind fednet — must add
+// contributions in ascending device order to replay bit-identically.
+func Pool(parts []*mat.Dense) *mat.Dense {
+	if len(parts) == 0 {
+		panic("dsvd: pooling zero projections")
+	}
+	w := parts[0].Clone()
+	wd := w.Data()
+	for _, p := range parts[1:] {
+		pd := p.Data()
+		if len(pd) != len(wd) {
+			panic("dsvd: pooled projection shapes differ")
+		}
+		for i, v := range pd {
+			wd[i] += v
+		}
+	}
+	return w
+}
+
+// Run executes the whole solve in process over the given device column
+// blocks (all sharing one row count). It is the reference the fednet
+// coordinator is pinned against: same blocks, same Options — same bits.
+func Run(blocks []*mat.Dense, opts Options) (Result, error) {
+	if len(blocks) == 0 {
+		return Result{}, fmt.Errorf("dsvd: no device blocks")
+	}
+	n := blocks[0].Rows()
+	for z, b := range blocks {
+		if b.Rows() != n {
+			return Result{}, fmt.Errorf("dsvd: device %d holds %d-dimensional columns, device 0 holds %d", z, b.Rows(), n)
+		}
+	}
+	st, err := NewState(n, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	reg := opts.reg()
+	// Instruments are registered once, before the iteration loop: the
+	// registry lookup takes a mutex and must stay off the per-round hot
+	// path (metrichygiene).
+	roundsC := reg.Counter("fedsc_dsvd_rounds_total", "Distributed SVD solves started.")
+	itersC := reg.Counter("fedsc_dsvd_iterations_total", "Projection-splitting iterations across all solves.")
+	convergedC := reg.Counter("fedsc_dsvd_converged_total", "Solves that reached the residual tolerance before MaxIter.")
+	residualH := reg.Histogram("fedsc_dsvd_residual", "Relative subspace residual per iteration.",
+		[]float64{1e-12, 1e-10, 1e-8, 1e-6, 1e-4, 1e-2, 1})
+	secondsH := reg.Histogram("fedsc_dsvd_iteration_seconds", "Wall time of one projection-splitting iteration.",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1})
+	roundsC.Inc()
+	root := opts.Trace.Start("dsvd.run", obs.Int("k", st.K()), obs.Int("devices", len(blocks)), obs.Int("n", n))
+	defer root.End()
+	parts := make([]*mat.Dense, len(blocks))
+	for !st.Done() {
+		iterStart := time.Now()
+		sp := root.Start("dsvd.iter", obs.Int("iter", st.Iters()))
+		u := st.Basis()
+		for z, b := range blocks {
+			parts[z] = ProjectBlock(b, u)
+		}
+		rho := st.Ingest(Pool(parts))
+		itersC.Inc()
+		residualH.Observe(rho)
+		secondsH.Observe(time.Since(iterStart).Seconds())
+		sp.SetAttr("residual", fmt.Sprintf("%.3e", rho))
+		sp.End()
+	}
+	if st.converged {
+		convergedC.Inc()
+	}
+	return st.Finalize(), nil
+}

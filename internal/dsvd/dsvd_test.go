@@ -1,0 +1,199 @@
+package dsvd
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"fedsc/internal/mat"
+	"fedsc/internal/obs"
+	"fedsc/internal/theory"
+)
+
+// splitCols deals the columns of x into contiguous per-device blocks
+// with the given sizes.
+func splitCols(x *mat.Dense, sizes []int) []*mat.Dense {
+	blocks := make([]*mat.Dense, len(sizes))
+	off := 0
+	for z, c := range sizes {
+		b := mat.NewDense(x.Rows(), c)
+		col := make([]float64, x.Rows())
+		for j := 0; j < c; j++ {
+			x.Col(off+j, col)
+			b.SetCol(j, col)
+		}
+		blocks[z] = b
+		off += c
+	}
+	return blocks
+}
+
+// lowRankPlusNoise builds an n×cols matrix with a planted rank-d
+// dominant subspace and small Gaussian noise.
+func lowRankPlusNoise(n, d, cols int, noise float64, rng *rand.Rand) (*mat.Dense, *mat.Dense) {
+	basis := mat.RandomOrthonormal(n, d, rng)
+	coef := mat.RandomGaussian(d, cols, rng)
+	x := mat.Mul(basis, coef)
+	if noise > 0 {
+		e := mat.RandomGaussian(n, cols, rng)
+		xd, ed := x.Data(), e.Data()
+		for i := range xd {
+			xd[i] += noise * ed[i]
+		}
+	}
+	return x, basis
+}
+
+func TestRunMatchesCentralizedTruncatedSVD(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, tc := range []struct {
+		n, d, cols int
+		sizes      []int
+		noise      float64
+	}{
+		{20, 3, 60, []int{20, 20, 20}, 0},
+		{30, 4, 90, []int{10, 35, 25, 20}, 0.01},
+		{16, 2, 48, []int{48}, 0.05}, // one device: pure power iteration
+		{24, 5, 64, []int{1, 31, 16, 16}, 0.02},
+	} {
+		x, _ := lowRankPlusNoise(tc.n, tc.d, tc.cols, tc.noise, rng)
+		blocks := splitCols(x, tc.sizes)
+		res, err := Run(blocks, Options{K: tc.d, Seed: 7, MaxIter: 200, Tol: 1e-12})
+		if err != nil {
+			t.Fatalf("%+v: %v", tc, err)
+		}
+		central, centralSigma := mat.TruncatedSVD(x, tc.d)
+		cos := theory.PrincipalAngles(res.U, central)
+		for _, c := range cos {
+			if c < 0.999 {
+				t.Fatalf("%+v: principal-angle cosine %v below 0.999", tc, cos)
+			}
+		}
+		for j := 0; j < tc.d; j++ {
+			if rel := math.Abs(res.Sigma[j]-centralSigma[j]) / (1 + centralSigma[j]); rel > 1e-3 {
+				t.Fatalf("%+v: sigma[%d]=%g, centralized %g", tc, j, res.Sigma[j], centralSigma[j])
+			}
+		}
+		if !res.Converged {
+			t.Fatalf("%+v: did not converge in %d iterations (residual %g)", tc, res.Iters, res.Residual)
+		}
+	}
+}
+
+func TestRunBasisOrthonormalAndOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, _ := lowRankPlusNoise(18, 4, 50, 0.05, rng)
+	res, err := Run(splitCols(x, []int{17, 16, 17}), Options{K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mat.MulTA(res.U, res.U)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(g.At(i, j)-want) > 1e-9 {
+				t.Fatalf("basis not orthonormal at %d,%d: %g", i, j, g.At(i, j))
+			}
+		}
+	}
+	for j := 1; j < len(res.Sigma); j++ {
+		if res.Sigma[j] > res.Sigma[j-1]+1e-12 {
+			t.Fatalf("singular values not descending: %v", res.Sigma)
+		}
+	}
+}
+
+func TestRunDeterministicReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x, _ := lowRankPlusNoise(22, 3, 66, 0.02, rng)
+	blocks := splitCols(x, []int{22, 22, 22})
+	opts := Options{K: 3, Seed: 11}
+	a, err := Run(blocks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(blocks, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.U.Data(), b.U.Data()) || !reflect.DeepEqual(a.Sigma, b.Sigma) || a.Iters != b.Iters {
+		t.Fatal("seeded runs are not bit-identical")
+	}
+}
+
+func TestRunPartitionInvariance(t *testing.T) {
+	// The pooled projection Σ_z A_z A_zᵀ U is the same operator no
+	// matter how columns are dealt, so different partitions converge to
+	// the same subspace (bits differ — float sums reorder — but angles
+	// must not).
+	rng := rand.New(rand.NewSource(5))
+	x, _ := lowRankPlusNoise(20, 3, 60, 0.01, rng)
+	a, err := Run(splitCols(x, []int{60}), Options{K: 3, Seed: 2, Tol: 1e-12, MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(splitCols(x, []int{7, 13, 21, 19}), Options{K: 3, Seed: 2, Tol: 1e-12, MaxIter: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range theory.PrincipalAngles(a.U, b.U) {
+		if c < 0.9999 {
+			t.Fatalf("partitions disagree on the subspace: %v", theory.PrincipalAngles(a.U, b.U))
+		}
+	}
+}
+
+func TestProjectBlockNeverWiderThanK(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 4 + r.Intn(12)
+		k := 1 + r.Intn(n)
+		cols := r.Intn(40)
+		block := mat.RandomGaussian(n, cols, r)
+		u := mat.RandomOrthonormal(n, k, r)
+		w := ProjectBlock(block, u)
+		rr, cc := w.Dims()
+		return rr == n && cc == k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(nil, Options{K: 2}); err == nil {
+		t.Fatal("no blocks should error")
+	}
+	blocks := []*mat.Dense{mat.NewDense(4, 2), mat.NewDense(5, 2)}
+	if _, err := Run(blocks, Options{K: 2}); err == nil {
+		t.Fatal("mismatched ambient dimensions should error")
+	}
+	if _, err := Run([]*mat.Dense{mat.NewDense(4, 2)}, Options{K: 0}); err == nil {
+		t.Fatal("non-positive rank should error")
+	}
+}
+
+func TestRunMetricsPublished(t *testing.T) {
+	reg := obs.NewRegistry()
+	rng := rand.New(rand.NewSource(9))
+	x, _ := lowRankPlusNoise(12, 2, 30, 0, rng)
+	res, err := Run(splitCols(x, []int{15, 15}), Options{K: 2, Seed: 1, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("fedsc_dsvd_rounds_total", "").Value(); got != 1 {
+		t.Fatalf("rounds counter = %d", got)
+	}
+	if got := reg.Counter("fedsc_dsvd_iterations_total", "").Value(); got != int64(res.Iters) {
+		t.Fatalf("iterations counter = %d, result says %d", got, res.Iters)
+	}
+	if got := reg.Counter("fedsc_dsvd_converged_total", "").Value(); got != 1 {
+		t.Fatalf("converged counter = %d", got)
+	}
+}

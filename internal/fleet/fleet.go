@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"fedsc/internal/core"
+	"fedsc/internal/dsvd"
 	"fedsc/internal/mat"
 	"fedsc/internal/obs"
 	"fedsc/internal/serve"
@@ -59,6 +60,13 @@ type Config struct {
 	// delta components: two pooled bases with normalized affinity at
 	// or above it are solved as one new global cluster. Zero means 0.8.
 	MergeAffinity float64
+	// DistributedBases refines exported cluster bases — the initial
+	// round's and every spliced delta cluster's — with a distributed
+	// dominant SVD over the owning devices' raw columns
+	// (core.Options.DistributedBases / internal/dsvd): the basis the
+	// serve engine scores against is then fit to all member points
+	// while raw columns never leave their devices.
+	DistributedBases bool
 	// Obs receives the fleet metrics; nil publishes to obs.Default.
 	Obs *obs.Registry
 	// Trace, when non-nil, records each round's phase tree.
@@ -240,12 +248,31 @@ func (c *Controller) Initial(devices []*mat.Dense) (core.Result, Version, error)
 	span := c.cfg.Trace.Start("fleet.initial", obs.Int("devices", len(devices)), obs.Int("L", c.cfg.L))
 	defer span.End()
 	res := core.Run(devices, c.cfg.L, core.Options{
-		Local:   c.cfg.Local,
-		Central: c.cfg.Central,
-		Obs:     c.cfg.Obs,
-		Trace:   c.cfg.Trace,
+		Local:            c.cfg.Local,
+		Central:          c.cfg.Central,
+		DistributedBases: c.cfg.DistributedBases,
+		Obs:              c.cfg.Obs,
+		Trace:            c.cfg.Trace,
 	}, c.rng)
-	m, err := core.ModelFromResult(res, c.cfg.L, c.cfg.Local.TargetDim, c.centralMethod())
+	var m *core.Model
+	var err error
+	if c.cfg.DistributedBases {
+		// The dsvd-refined bases live on the Result; rebuilding from the
+		// pooled samples (ModelFromResult) would discard the refinement.
+		spc := c.cfg.Local.SamplesPerCluster
+		if spc <= 0 {
+			spc = 1
+		}
+		counts := make([]int, c.cfg.L)
+		for _, taus := range res.SampleLabels {
+			for _, g := range taus {
+				counts[g] += spc
+			}
+		}
+		m, err = core.ModelFromBases(devices[0].Rows(), res.GlobalBases, counts, c.centralMethod())
+	} else {
+		m, err = core.ModelFromResult(res, c.cfg.L, c.cfg.Local.TargetDim, c.centralMethod())
+	}
 	if err != nil {
 		return core.Result{}, Version{}, fmt.Errorf("fleet: initial round: %w", err)
 	}
@@ -421,6 +448,9 @@ func (c *Controller) Join(devices []*mat.Dense) (JoinResult, error) {
 		for _, d := range deltaOf {
 			counts[d] += spc
 		}
+		if c.cfg.DistributedBases {
+			c.refineDeltaBases(deltaSpan, devices, locals, pool, deltaOf, deltaBases, counts)
+		}
 		remap := make([]int, lDelta)
 		oldL := c.model.L
 		allBases := oldBases
@@ -477,6 +507,54 @@ func (c *Controller) Join(devices []*mat.Dense) (JoinResult, error) {
 	c.rounds.With("incremental").Inc()
 	c.roundSec.Observe(time.Since(start).Seconds())
 	return out, nil
+}
+
+// refineDeltaBases re-estimates each surviving delta cluster's basis
+// with a distributed dominant SVD over the late devices' raw member
+// columns (Config.DistributedBases): the spliced basis is fit to every
+// point of its new cluster — not just the spc pooled samples — while
+// raw columns stay on their devices. Per-cluster seeds come off the
+// controller rng up front so the stream does not depend on skips.
+func (c *Controller) refineDeltaBases(span *obs.Span, devices []*mat.Dense, locals []core.LocalResult,
+	pool []lateCluster, deltaOf []int, deltaBases []*mat.Dense, counts []int) {
+	refineSpan := span.Start("delta.refine", obs.Int("clusters", len(deltaBases)))
+	defer refineSpan.End()
+	seeds := make([]int64, len(deltaBases))
+	for d := range seeds {
+		seeds[d] = c.rng.Int63()
+	}
+	for d := range deltaBases {
+		if counts[d] == 0 {
+			continue
+		}
+		// Gather each late device's columns belonging to delta cluster d,
+		// concatenated across its pooled local clusters in pool order.
+		perDev := make([][]int, len(devices))
+		total := 0
+		for i, lc := range pool {
+			if deltaOf[i] != d {
+				continue
+			}
+			perDev[lc.dev] = append(perDev[lc.dev], locals[lc.dev].Partitions[lc.t]...)
+			total += len(locals[lc.dev].Partitions[lc.t])
+		}
+		blocks := make([]*mat.Dense, len(devices))
+		for dev := range devices {
+			blocks[dev] = devices[dev].SelectCols(perDev[dev])
+		}
+		k := deltaBases[d].Cols()
+		if k > total {
+			k = total
+		}
+		if k <= 0 {
+			continue
+		}
+		refined, err := dsvd.Run(blocks, dsvd.Options{K: k, Seed: seeds[d], Obs: c.cfg.Obs, Trace: c.cfg.Trace})
+		if err != nil {
+			continue // keep the sample-based basis
+		}
+		deltaBases[d] = refined.U
+	}
 }
 
 // Rollback retags the fleet alias to the previous published version

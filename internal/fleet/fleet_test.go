@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"fedsc/internal/core"
@@ -328,5 +329,137 @@ func TestJoinIsDeterministic(t *testing.T) {
 				t.Fatalf("replay label diverged at device %d point %d", dev, i)
 			}
 		}
+	}
+}
+
+// TestDistributedBasesFleetLifecycle runs the churn scenario with
+// Config.DistributedBases: the initial publish and every spliced delta
+// cluster carry dsvd-refined bases (fit to all member points, raw
+// columns never pooled). The published bases must stay orthonormal,
+// the spliced model must still assign accurately, and the whole
+// lifecycle must replay deterministically for a fixed seed.
+func TestDistributedBasesFleetLifecycle(t *testing.T) {
+	run := func() (Version, [][]int, *Controller, *churnWorld) {
+		w := newChurnWorld(13)
+		founding := w.wave([]int{0, 1}, []int{1, 2}, []int{0, 2}, []int{0, 1})
+		st, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatalf("open store: %v", err)
+		}
+		c, err := New(Config{
+			L:                3,
+			Local:            core.LocalOptions{UseEigengap: true, SamplesPerCluster: 3},
+			Seed:             23,
+			Store:            st,
+			Obs:              obs.NewRegistry(),
+			DistributedBases: true,
+		})
+		if err != nil {
+			t.Fatalf("new controller: %v", err)
+		}
+		if _, _, err := c.Initial(founding); err != nil {
+			t.Fatalf("initial: %v", err)
+		}
+		res, err := c.Join(w.wave([]int{3, 0}, []int{3}))
+		if err != nil {
+			t.Fatalf("join: %v", err)
+		}
+		if res.Spliced == 0 {
+			t.Fatal("the unseen subspace must splice a new cluster")
+		}
+		return c.Current(), res.Labels, c, w
+	}
+	v1, labels1, c, w := run()
+	for g, basis := range c.Model().Bases() {
+		k := basis.Cols()
+		gram := mat.MulTA(basis, basis)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if d := gram.At(i, j) - want; d > 1e-9 || d < -1e-9 {
+					t.Fatalf("published cluster %d basis not orthonormal at %d,%d: %g", g, i, j, gram.At(i, j))
+				}
+			}
+		}
+	}
+	if acc := fleetAccuracy(t, c, w); acc < 90 {
+		t.Fatalf("refined fleet model accuracy %.1f%% < 90%%", acc)
+	}
+	v2, labels2, _, _ := run()
+	if v1.Version != v2.Version || v1.Clusters != v2.Clusters || v1.Tag != v2.Tag {
+		t.Fatalf("replay diverged: %+v vs %+v", v1, v2)
+	}
+	for dev := range labels1 {
+		for i := range labels1[dev] {
+			if labels1[dev][i] != labels2[dev][i] {
+				t.Fatalf("replay label diverged at device %d point %d", dev, i)
+			}
+		}
+	}
+}
+
+// TestJoinAbsorbTieBreaksToLowestCluster is the crafted-tie audit pin
+// for absorb voting: a model is published whose clusters 0 and 1 carry
+// IDENTICAL bases, so every late sample's min-residual vote ties
+// exactly across the two global clusters. The tie must resolve to the
+// lowest cluster index — via the serve engine's strict < argmin and
+// Join's lowest-label-wins majority vote — never to map iteration
+// order, and the whole round must replay identically.
+func TestJoinAbsorbTieBreaksToLowestCluster(t *testing.T) {
+	const n = 6
+	e1 := mat.NewDense(n, 1)
+	e1.Data()[0] = 1
+	run := func() JoinResult {
+		st, err := store.Open(t.TempDir())
+		if err != nil {
+			t.Fatalf("open store: %v", err)
+		}
+		c, err := New(Config{
+			L:     2,
+			Local: core.LocalOptions{UseEigengap: false, RMax: 1, SamplesPerCluster: 2},
+			Seed:  71,
+			Store: st,
+			Obs:   obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatalf("new controller: %v", err)
+		}
+		m, err := core.ModelFromBases(n, []*mat.Dense{e1.Clone(), e1.Clone()}, []int{1, 1}, core.CentralSSC)
+		if err != nil {
+			t.Fatalf("model: %v", err)
+		}
+		if _, err := c.publishLocked(m); err != nil {
+			t.Fatalf("publish: %v", err)
+		}
+		// One late device whose points all lie on span(e1): residuals to
+		// clusters 0 and 1 are bit-equal for every sample.
+		late := mat.NewDense(n, 5)
+		for j := 0; j < 5; j++ {
+			late.Data()[j] = 0.5 + 0.3*float64(j) // row 0 = e1 coordinate
+		}
+		res, err := c.Join([]*mat.Dense{late})
+		if err != nil {
+			t.Fatalf("join: %v", err)
+		}
+		return res
+	}
+	first := run()
+	if first.Absorbed != 1 || first.Changed {
+		t.Fatalf("tie cluster not absorbed: %+v", first)
+	}
+	for _, lab := range first.Labels[0] {
+		if lab != 0 {
+			t.Fatalf("tied vote resolved to cluster %d, want lowest index 0 (labels %v)", lab, first.Labels[0])
+		}
+	}
+	second := run()
+	// Digests differ across runs (the artifact checksum covers its
+	// creation timestamp); every clustering decision must not.
+	first.Version.Digest, second.Version.Digest = "", ""
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("tied absorb round diverged across replays:\nfirst:  %+v\nsecond: %+v", first, second)
 	}
 }

@@ -170,6 +170,100 @@ func TestSymEigenPartial(t *testing.T) {
 	}
 }
 
+func TestSymEigenPartialMatchesFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		k := 1 + r.Intn(n)
+		g := RandomGaussian(n, n, r)
+		a := MulTA(g, g)
+		full := SymEigen(a)
+		part := SymEigenPartial(a, k)
+		if len(part.Values) != k || part.Vectors.Cols() != k {
+			return false
+		}
+		if orthonormalError(part.Vectors) > 1e-8 {
+			return false
+		}
+		scale := 1 + a.MaxAbs()
+		for j := 0; j < k; j++ {
+			if math.Abs(part.Values[j]-full.Values[j]) > 1e-8*scale {
+				return false
+			}
+			// A v = λ v residual — eigenvectors need not match the full
+			// solver's sign or (in degenerate subspaces) direction, but
+			// they must satisfy the eigen equation.
+			v := part.Vectors.Col(j, nil)
+			av := MulVec(a, v)
+			for i := range av {
+				if math.Abs(av[i]-part.Values[j]*v[i]) > 1e-6*scale {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymEigenPartialMultiplicity(t *testing.T) {
+	// Block-diagonal Laplacian of two disconnected components: eigenvalue
+	// 0 has multiplicity 2, the classic degenerate case spectral
+	// clustering feeds the solver. The partial solver must return an
+	// orthonormal pair of vectors spanning the null space.
+	n := 12
+	a := NewDense(n, n)
+	for _, blk := range [][2]int{{0, 6}, {6, 12}} {
+		for i := blk[0]; i < blk[1]; i++ {
+			for j := blk[0]; j < blk[1]; j++ {
+				if i == j {
+					a.Set(i, j, float64(blk[1]-blk[0]-1))
+				} else {
+					a.Set(i, j, -1)
+				}
+			}
+		}
+	}
+	part := SymEigenPartial(a, 3)
+	if math.Abs(part.Values[0]) > 1e-8 || math.Abs(part.Values[1]) > 1e-8 {
+		t.Fatalf("null-space eigenvalues = %v, want two zeros", part.Values[:2])
+	}
+	if part.Values[2] < 1 {
+		t.Fatalf("third eigenvalue = %v, want the spectral gap", part.Values[2])
+	}
+	if err := orthonormalError(part.Vectors); err > 1e-8 {
+		t.Fatalf("degenerate eigenvectors not orthonormal: %g", err)
+	}
+	scale := 1 + a.MaxAbs()
+	for j := 0; j < 3; j++ {
+		v := part.Vectors.Col(j, nil)
+		av := MulVec(a, v)
+		for i := range av {
+			if math.Abs(av[i]-part.Values[j]*v[i]) > 1e-7*scale {
+				t.Fatalf("eigenpair %d residual too large", j)
+			}
+		}
+	}
+}
+
+func TestSymEigenPartialEdgeCases(t *testing.T) {
+	if eig := SymEigenPartial(NewDense(0, 0), 3); len(eig.Values) != 0 || eig.Vectors.Cols() != 0 {
+		t.Fatal("empty matrix should yield empty decomposition")
+	}
+	a := NewDenseData(2, 2, []float64{2, 0, 0, 5})
+	if eig := SymEigenPartial(a, 0); len(eig.Values) != 0 {
+		t.Fatal("k=0 should yield no values")
+	}
+	eig := SymEigenPartial(a, 10) // k clamps to n
+	if len(eig.Values) != 2 || math.Abs(eig.Values[0]-2) > 1e-12 || math.Abs(eig.Values[1]-5) > 1e-12 {
+		t.Fatalf("clamped decomposition = %v", eig.Values)
+	}
+}
+
 func TestSymEigenPropertyResidual(t *testing.T) {
 	rng := rand.New(rand.NewSource(16))
 	f := func(seed int64) bool {

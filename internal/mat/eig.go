@@ -326,19 +326,3 @@ func tqli(d, e []float64, z *Dense) {
 		}
 	}
 }
-
-// SymEigenPartial computes the k smallest eigenpairs of the symmetric
-// matrix a. It currently performs a full decomposition and truncates; the
-// signature isolates callers from that choice so a partial solver can be
-// substituted for very large problems (see sparse.Lanczos).
-func SymEigenPartial(a *Dense, k int) Eigen {
-	eig := SymEigen(a)
-	if k > len(eig.Values) {
-		k = len(eig.Values)
-	}
-	idx := make([]int, k)
-	for i := range idx {
-		idx[i] = i
-	}
-	return Eigen{Values: eig.Values[:k], Vectors: eig.Vectors.SelectCols(idx)}
-}

@@ -17,6 +17,7 @@ import (
 
 	"fedsc/internal/chaos"
 	"fedsc/internal/core"
+	"fedsc/internal/dsvd"
 	"fedsc/internal/fednet"
 	"fedsc/internal/fleet"
 	"fedsc/internal/mat"
@@ -122,6 +123,45 @@ func SymEigen(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mat.SymEigen(a)
+	}
+}
+
+// SymEigenPartial measures the k-pair partial eigensolver on the same
+// 200×200 Gram matrix as SymEigen with k=8 — the spectral-embedding
+// regime (k cluster eigenvectors of an n-point graph) where the
+// bisection + inverse-iteration path must beat the full decomposition.
+func SymEigenPartial(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	g := mat.RandomGaussian(200, 200, rng)
+	a := mat.MulTA(g, g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mat.SymEigenPartial(a, 8)
+	}
+}
+
+// DistributedSVD measures one in-process projection-splitting solve
+// (internal/dsvd): 4 devices × 60 columns in R^64, rank 4 — the
+// per-iteration device projections, residual, re-orthonormalization,
+// and the final Ritz rotation.
+func DistributedSVD(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	basis := mat.RandomOrthonormal(64, 4, rng)
+	blocks := make([]*mat.Dense, 4)
+	for z := range blocks {
+		x := mat.Mul(basis, mat.RandomGaussian(4, 60, rng))
+		noise := mat.RandomGaussian(64, 60, rng)
+		xd, nd := x.Data(), noise.Data()
+		for i := range xd {
+			xd[i] += 0.01 * nd[i]
+		}
+		blocks[z] = x
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dsvd.Run(blocks, dsvd.Options{K: 4, Seed: int64(i), Obs: obs.NewRegistry()}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
@@ -274,6 +314,8 @@ func Suite() []Named {
 	return []Named{
 		{"TruncatedSVD", TruncatedSVD},
 		{"SymEigen", SymEigen},
+		{"SymEigenPartial", SymEigenPartial},
+		{"DistributedSVD", DistributedSVD},
 		{"MulTA", MulTA},
 		{"LocalClusterAndSample", LocalClusterAndSample},
 		{"FedSCRound", FedSCRound},

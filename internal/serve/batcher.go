@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -130,6 +131,38 @@ func NewBatcher(reg *Registry, metrics *Metrics, opts BatcherOptions) *Batcher {
 		go b.worker()
 	}
 	return b
+}
+
+// retryAfterSeconds derives a Retry-After hint from the batcher's own
+// drain rate instead of a fixed constant: the queued points form
+// ceil(queued/MaxBatch) batches spread across Workers workers, and
+// each batch window stays open at most MaxWait, so the backlog clears
+// in about ceil(batches/Workers)·MaxWait. The estimate is rounded up
+// to whole seconds (the HTTP header grammar) and clamped to [1, 60]:
+// even an empty or sub-second backlog deserves a beat of backoff, and
+// a minute caps the hint under a pathological queue. opts must have
+// defaults applied.
+func retryAfterSeconds(queued int64, opts BatcherOptions) int {
+	if queued < 0 {
+		queued = 0
+	}
+	batches := (queued + int64(opts.MaxBatch) - 1) / int64(opts.MaxBatch)
+	perWorker := (batches + int64(opts.Workers) - 1) / int64(opts.Workers)
+	secs := int(math.Ceil(float64(perWorker) * opts.MaxWait.Seconds()))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
+}
+
+// RetryAfter reports, in whole seconds, how long an overloaded caller
+// should wait before retrying, computed from the current queue depth
+// and the pool's drain rate.
+func (b *Batcher) RetryAfter() int {
+	return retryAfterSeconds(b.queued.Load(), b.opts)
 }
 
 // Stop shuts the worker pool down: queued requests are still answered,

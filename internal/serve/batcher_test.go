@@ -137,3 +137,33 @@ func TestBatcherContextCancel(t *testing.T) {
 		t.Fatalf("cancelled assign: %v", err)
 	}
 }
+
+// TestRetryAfterSeconds pins the derived Retry-After arithmetic: the
+// hint is ceil(batches/Workers)·MaxWait rounded up to whole seconds
+// and clamped to [1, 60], never the old hardcoded "1".
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		queued int64
+		opts   BatcherOptions
+		want   int
+	}{
+		{"ten batches one worker", 10, BatcherOptions{MaxBatch: 1, MaxWait: 500 * time.Millisecond, Workers: 1}, 5},
+		{"workers divide the backlog", 10, BatcherOptions{MaxBatch: 1, MaxWait: 500 * time.Millisecond, Workers: 5}, 1},
+		{"partial batch rounds up", 5, BatcherOptions{MaxBatch: 4, MaxWait: time.Second, Workers: 1}, 2},
+		{"empty queue floors at one second", 0, BatcherOptions{MaxBatch: 64, MaxWait: time.Second, Workers: 4}, 1},
+		{"sub-second backlog floors at one second", 3, BatcherOptions{MaxBatch: 64, MaxWait: 200 * time.Microsecond, Workers: 4}, 1},
+		{"pathological queue clamps at a minute", 1 << 20, BatcherOptions{MaxBatch: 1, MaxWait: time.Second, Workers: 1}, 60},
+	} {
+		if got := retryAfterSeconds(tc.queued, tc.opts.withDefaults()); got != tc.want {
+			t.Fatalf("%s: retryAfterSeconds(%d) = %d, want %d", tc.name, tc.queued, got, tc.want)
+		}
+	}
+	// The batcher method agrees with the helper on a live (idle) pool.
+	reg, _, _ := newTestRegistry(t, 67)
+	b := NewBatcher(reg, NewMetrics(), BatcherOptions{MaxBatch: 2, MaxWait: time.Second, Workers: 1})
+	defer b.Stop()
+	if got := b.RetryAfter(); got != 1 {
+		t.Fatalf("idle batcher RetryAfter = %d, want 1", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 )
@@ -107,7 +108,7 @@ func (h *Handler) assign(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, ErrOverloaded):
 			status = http.StatusTooManyRequests
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(h.batcher.RetryAfter()))
 		case errors.Is(err, ErrStopped):
 			status = http.StatusServiceUnavailable
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):

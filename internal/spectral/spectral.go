@@ -41,6 +41,14 @@ func LaplacianEigs(w *sparse.CSR, k int, rng *rand.Rand) ([]float64, *mat.Dense)
 			})
 		}
 		dense.Symmetrize()
+		// Embeddings want k ≪ n eigenpairs; the partial solver skips the
+		// full solver's transform accumulation and QL sweep in that
+		// regime. Eigengap estimation asks for k ≈ n, where extracting
+		// nearly every pair one by one loses to the full decomposition.
+		if 2*k <= n {
+			eig := mat.SymEigenPartial(dense, k)
+			return clampEigs(eig.Values), eig.Vectors
+		}
 		eig := mat.SymEigen(dense)
 		idx := make([]int, k)
 		for i := range idx {
@@ -126,14 +134,25 @@ func Cluster(w *sparse.CSR, k int, rng *rand.Rand) []int {
 // happens to favor, a degenerate tie that flips with the rng. Zero rows
 // are instead mapped to the canonical unit embedding e₀, giving every
 // isolated vertex the same well-defined position (and therefore the
-// same, seed-independent assignment).
+// same, seed-independent assignment). The zero test is a tolerance, not
+// exact: iterative eigensolvers (partial inverse iteration, Lanczos)
+// leave O(machine-eps) noise in structurally-zero rows, and normalizing
+// that noise would put the vertex at an arbitrary solver-dependent spot
+// on the sphere. Columns are unit vectors, so true signal rows are far
+// above the threshold.
 func normalizeEmbedding(emb *mat.Dense) {
+	const zeroRow = 1e-8
 	r, _ := emb.Dims()
 	for i := 0; i < r; i++ {
 		row := emb.Row(i)
-		if mat.Normalize(row) == 0 { //fedsc:allow floatcmp Normalize returns exactly 0 iff the row is exactly zero
+		if mat.Norm2(row) < zeroRow {
+			for j := range row {
+				row[j] = 0
+			}
 			row[0] = 1
+			continue
 		}
+		mat.Normalize(row)
 	}
 }
 
